@@ -1,0 +1,203 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and writes them to text files (plus stdout).
+//
+//	figures            # full paper scale (230 nodes, ≈212 s streams)
+//	figures -scale 0.2 # quick pass at reduced scale
+//	figures -only 1,2  # selected figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gossipstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale  = flag.Float64("scale", 1.0, "scale factor for nodes and stream length (0,1]")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		outDir = flag.String("out", "figures", "directory for figure text files")
+		only   = flag.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	base := gossipstream.DefaultExperiment()
+	base.Seed = *seed
+	opts := gossipstream.FigureOptions{Base: &base, Scale: *scale}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	// emit writes a figure's table, plus an ASCII chart of its numeric
+	// columns against the first column when the axis parses as numbers.
+	emit := func(name string, tb *gossipstream.Table) error {
+		text := tb.String()
+		if chart := chartOf(tb); chart != "" {
+			text += "\n" + chart
+		}
+		fmt.Println(text)
+		return os.WriteFile(filepath.Join(*outDir, name), []byte(text), 0o644)
+	}
+
+	start := time.Now()
+
+	var fig1Results []*gossipstream.ExperimentResult
+	if want("1") || want("2") {
+		fmt.Println("running figure 1 (fanout sweep, 700 kbps)...")
+		tb, results, err := gossipstream.Figure1(opts, nil)
+		if err != nil {
+			return err
+		}
+		fig1Results = results
+		if want("1") {
+			if err := emit("figure1.txt", tb); err != nil {
+				return err
+			}
+		}
+	}
+	if want("2") {
+		fmt.Println("running figure 2 (lag CDF)...")
+		tb, err := gossipstream.Figure2(opts, nil, fig1Results)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure2.txt", tb); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		fmt.Println("running figure 3 (1000/2000 kbps caps)...")
+		tb, err := gossipstream.Figure3(opts, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure3.txt", tb); err != nil {
+			return err
+		}
+	}
+	if want("4") {
+		fmt.Println("running figure 4 (bandwidth distribution)...")
+		tb, err := gossipstream.Figure4(opts, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure4.txt", tb); err != nil {
+			return err
+		}
+	}
+	if want("5") {
+		fmt.Println("running figure 5 (refresh rate X)...")
+		tb, err := gossipstream.Figure5(opts, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure5.txt", tb); err != nil {
+			return err
+		}
+	}
+	if want("6") {
+		fmt.Println("running figure 6 (feed-me rate Y)...")
+		tb, err := gossipstream.Figure6(opts, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure6.txt", tb); err != nil {
+			return err
+		}
+	}
+	var fig7Results []*gossipstream.ExperimentResult
+	if want("7") || want("8") {
+		fmt.Println("running figure 7 (churn vs X)...")
+		tb, results, err := gossipstream.Figure7(opts, nil, nil)
+		if err != nil {
+			return err
+		}
+		fig7Results = results
+		if want("7") {
+			if err := emit("figure7.txt", tb); err != nil {
+				return err
+			}
+		}
+	}
+	if want("8") {
+		fmt.Println("running figure 8 (complete windows under churn)...")
+		tb, err := gossipstream.Figure8(opts, nil, nil, fig7Results)
+		if err != nil {
+			return err
+		}
+		if err := emit("figure8.txt", tb); err != nil {
+			return err
+		}
+	}
+	if want("claim") || len(selected) == 0 {
+		fmt.Println("running §1 churn claim (20% churn, X=1)...")
+		claim, err := gossipstream.ChurnClaim(opts)
+		if err != nil {
+			return err
+		}
+		text := fmt.Sprintf(
+			"Churn claim (20%% simultaneous failures, X=1):\n"+
+				"  survivors with <1%% jitter at 20s lag: %.1f%%  (paper: 70%%)\n"+
+				"  mean outage span among affected:       %.1fs  (paper: ≈5s)\n"+
+				"  missing windows within ±10s of churn:  %.1f%%\n",
+			claim.UnaffectedPct, claim.MeanOutage.Seconds(), claim.OutageNearChurnPct)
+		fmt.Println(text)
+		if err := os.WriteFile(filepath.Join(*outDir, "churn_claim.txt"), []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("done in %v; tables written to %s/\n", time.Since(start).Round(time.Second), *outDir)
+	return nil
+}
+
+// chartOf renders the table as an ASCII chart when its first column is a
+// numeric axis; otherwise it returns "".
+func chartOf(tb *gossipstream.Table) string {
+	if tb.NumRows() < 2 {
+		return ""
+	}
+	xs := make([]float64, 0, tb.NumRows())
+	for i := 0; i < tb.NumRows(); i++ {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(tb.Row(i)[0], "s"), 64)
+		if err != nil {
+			return ""
+		}
+		xs = append(xs, v)
+	}
+	var series []metricsSeries
+	for c := 1; c < len(tb.Columns); c++ {
+		ys := make([]float64, 0, tb.NumRows())
+		for i := 0; i < tb.NumRows(); i++ {
+			v, err := strconv.ParseFloat(tb.Row(i)[c], 64)
+			if err != nil {
+				return ""
+			}
+			ys = append(ys, v)
+		}
+		series = append(series, metricsSeries{Name: tb.Columns[c], X: xs, Y: ys})
+	}
+	return gossipstream.RenderChart(tb.Title, 72, 18, series)
+}
+
+type metricsSeries = gossipstream.ChartSeries

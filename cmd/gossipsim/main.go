@@ -1,0 +1,114 @@
+// Command gossipsim runs a single simulated deployment of the gossip
+// streaming system and prints its quality, lag, and bandwidth metrics.
+//
+// Example — the paper's baseline (230 nodes, 700 kbps caps, fanout 7):
+//
+//	gossipsim
+//
+// Example — a static mesh under 30% catastrophic churn:
+//
+//	gossipsim -refresh 0 -churn 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gossipstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes   = flag.Int("nodes", 230, "system size including the source")
+		fanout  = flag.Int("fanout", 7, "gossip fanout f")
+		refresh = flag.Int("refresh", 1, "view refresh rate X (0 = never, the paper's ∞)")
+		feed    = flag.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
+		capKbps = flag.Int64("cap", 700, "upload cap per node in kbps (0 = unlimited)")
+		windows = flag.Int("windows", 120, "stream length in 110-packet windows")
+		churnAt = flag.Float64("churn", 0, "fraction of nodes failing mid-stream (0 = none)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		verbose = flag.Bool("v", false, "print per-node detail")
+	)
+	flag.Parse()
+
+	cfg := gossipstream.DefaultExperiment()
+	cfg.Nodes = *nodes
+	cfg.Seed = *seed
+	cfg.Protocol.Fanout = *fanout
+	cfg.Protocol.RefreshEvery = *refresh
+	cfg.Protocol.FeedEvery = *feed
+	cfg.UploadCapBps = *capKbps * 1000
+	cfg.Layout.Windows = *windows
+	if *churnAt > 0 {
+		cfg.Churn = gossipstream.Catastrophe(cfg.Layout.Duration()/2, *churnAt)
+	}
+
+	start := time.Now()
+	res, err := gossipstream.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	qs := res.SurvivorQualities()
+	fmt.Printf("simulated %v of a %d-node system in %v (%d events)\n",
+		res.Duration.Round(time.Second), cfg.Nodes, wall.Round(time.Millisecond), res.Events)
+	fmt.Printf("stream: %d kbps, %d windows of %d+%d packets\n",
+		cfg.Layout.RateBps/1000, cfg.Layout.Windows, cfg.Layout.DataPerWindow, cfg.Layout.ParityPerWindow)
+	fmt.Printf("protocol: fanout %d, X=%s, Y=%s, cap %d kbps\n",
+		cfg.Protocol.Fanout, rate(cfg.Protocol.RefreshEvery), rate(cfg.Protocol.FeedEvery), cfg.UploadCapBps/1000)
+	fmt.Println()
+	fmt.Printf("%-28s %8s\n", "metric", "value")
+	for _, lag := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"viewable (<1% jitter) @10s", 10 * time.Second},
+		{"viewable (<1% jitter) @20s", 20 * time.Second},
+		{"viewable (<1% jitter) offline", gossipstream.OfflineLag},
+	} {
+		fmt.Printf("%-28s %7.1f%%\n", lag.name,
+			gossipstream.PercentViewable(qs, lag.d, gossipstream.JitterThreshold))
+	}
+	fmt.Printf("%-28s %7.1f%%\n", "mean complete windows @20s",
+		gossipstream.MeanCompleteFraction(qs, 20*time.Second))
+	fmt.Printf("%-28s %7.1f%%\n", "mean complete windows offline",
+		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
+
+	dist := res.UploadDistribution()
+	if len(dist) > 0 {
+		fmt.Printf("%-28s %7.0f / %.0f / %.0f kbps\n", "upload max/median/min",
+			dist[0], dist[len(dist)/2], dist[len(dist)-1])
+	}
+
+	if *verbose {
+		fmt.Println()
+		fmt.Printf("%5s %9s %8s %9s %9s %7s\n", "node", "complete%", "upload", "requests", "retrans", "alive")
+		for _, n := range res.Nodes {
+			fmt.Printf("%5d %8.1f%% %5.0fkb %9d %9d %7v\n",
+				n.ID,
+				100*n.Quality.CompleteFraction(gossipstream.OfflineLag),
+				n.UploadKbps,
+				n.Counters.RequestsSent,
+				n.Counters.Retransmissions,
+				n.Survived)
+		}
+	}
+	return nil
+}
+
+func rate(v int) string {
+	if v == gossipstream.Never {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,73 @@
+// Liveudp: run the protocol for real — a cluster of UDP nodes on localhost
+// gossiping a live stream, with the same engine the simulator drives.
+//
+//	go run ./examples/liveudp
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gossipstream"
+)
+
+func main() {
+	// A light stream so the example finishes in ~10 s of wall-clock time:
+	// 12 nodes, 400 kbps, ≈6 s of video in windows of 20+3 packets.
+	layout := gossipstream.StreamLayout{
+		RateBps:         400_000,
+		PayloadBytes:    1200,
+		DataPerWindow:   20,
+		ParityPerWindow: 3,
+		Windows:         12,
+	}
+	protocol := gossipstream.DefaultProtocol()
+	protocol.Fanout = 4
+	protocol.SourceFanout = 4
+	protocol.GossipPeriod = 100 * time.Millisecond
+	protocol.RetPeriod = 500 * time.Millisecond
+
+	cluster, err := gossipstream.NewLiveCluster(12, protocol, layout, gossipstream.Unlimited, 2024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liveudp:", err)
+		os.Exit(1)
+	}
+	defer cluster.Stop()
+
+	fmt.Printf("streaming %.1fs of %d kbps video across %d UDP nodes on localhost...\n",
+		layout.Duration().Seconds(), layout.RateBps/1000, len(cluster.Nodes))
+	if err := cluster.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "liveudp:", err)
+		os.Exit(1)
+	}
+
+	deadline := time.Now().Add(layout.Duration() + 10*time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, n := range cluster.Nodes {
+			if n.Receiver().Delivered() >= layout.TotalPackets() {
+				done++
+			}
+		}
+		if done == len(cluster.Nodes) {
+			fmt.Printf("all %d nodes fully served\n", done)
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	for _, n := range cluster.Nodes {
+		q := gossipstream.EvaluateLive(n, layout)
+		role := "peer  "
+		if n.ID() == 0 {
+			role = "source"
+		}
+		cl := "-"
+		if lag, ok := q.CriticalLag(gossipstream.JitterThreshold); ok {
+			cl = fmt.Sprintf("%.2fs", lag.Seconds())
+		}
+		fmt.Printf("node %2d %s complete=%5.1f%%  critical lag=%s\n",
+			n.ID(), role, 100*q.CompleteFraction(gossipstream.OfflineLag), cl)
+	}
+}

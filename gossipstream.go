@@ -1,0 +1,216 @@
+// Package gossipstream is a faithful, deployable reproduction of the
+// gossip-based live streaming system studied in "Stretching Gossip with
+// Live Streaming" (Frey, Guerraoui, Kermarrec, Monod, Quéma — DSN 2009).
+//
+// The library has three layers:
+//
+//   - The protocol engine (internal/core): the paper's three-phase
+//     push-request-push gossip (Algorithm 1) with infect-and-die proposal,
+//     receiver-driven retransmission, FEC-protected stream windows, and the
+//     two proactiveness knobs X (view refresh rate) and Y (feed-me rate).
+//   - A deterministic testbed simulator (internal/simnet and friends) that
+//     stands in for the paper's 230 PlanetLab nodes: capped, queued uplinks
+//     with drop-tail throttling, heterogeneous wide-area latencies, and
+//     ambient UDP loss.
+//   - A real-time UDP driver (internal/rt) that runs the same engine over
+//     actual sockets.
+//
+// This root package is the public face: it re-exports the configuration
+// and result types, the experiment runner, and one generator per figure of
+// the paper's evaluation. See EXPERIMENTS.md for measured-vs-paper numbers
+// and the examples/ directory for runnable programs.
+package gossipstream
+
+import (
+	"time"
+
+	"gossipstream/internal/churn"
+	"gossipstream/internal/core"
+	"gossipstream/internal/experiment"
+	"gossipstream/internal/member"
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/rt"
+	"gossipstream/internal/shaping"
+	"gossipstream/internal/stream"
+	"gossipstream/internal/wire"
+)
+
+// Re-exported identity and configuration types.
+type (
+	// NodeID identifies a protocol participant.
+	NodeID = wire.NodeID
+	// ProtocolConfig carries the gossip knobs: fanout, period, X, Y,
+	// retransmission.
+	ProtocolConfig = core.Config
+	// RetryPolicy selects the retransmission target policy.
+	RetryPolicy = core.RetryPolicy
+	// StreamLayout describes the stream geometry: rate, window shape,
+	// length.
+	StreamLayout = stream.Layout
+	// ExperimentConfig describes one simulated deployment.
+	ExperimentConfig = experiment.Config
+	// ExperimentResult is the outcome of a simulated deployment.
+	ExperimentResult = experiment.Result
+	// NodeResult is one node's outcome within an ExperimentResult.
+	NodeResult = experiment.NodeResult
+	// FigureOptions scales and parameterizes figure generation.
+	FigureOptions = experiment.Options
+	// Quality holds a node's per-window stream lags.
+	Quality = metrics.Quality
+	// Table is a printable result table, one per figure.
+	Table = metrics.Table
+	// ChurnEvent is one catastrophic failure burst.
+	ChurnEvent = churn.Event
+	// ChurnClaimResult quantifies the paper's §1 churn claim.
+	ChurnClaimResult = experiment.ChurnClaimResult
+	// LiveNode is a protocol participant on a real UDP socket.
+	LiveNode = rt.Node
+	// LiveConfig configures a LiveNode.
+	LiveConfig = rt.Config
+	// LiveCluster is a localhost cluster of live nodes.
+	LiveCluster = rt.Cluster
+)
+
+// Never disables a proactiveness knob: RefreshEvery = Never is the paper's
+// X = ∞ (static partners); FeedEvery = Never disables feed-me requests.
+const Never = member.Never
+
+// Unlimited disables a bandwidth cap.
+const Unlimited = shaping.Unlimited
+
+// Retry policies (see core.RetryPolicy).
+const (
+	RetrySameProposer   = core.RetrySameProposer
+	RetryRandomProposer = core.RetryRandomProposer
+)
+
+// Membership substrates for simulated experiments.
+const (
+	// MembershipFull is the paper's model: uniform sampling over global
+	// membership knowledge.
+	MembershipFull = experiment.MembershipFull
+	// MembershipCyclon samples from Cyclon-style partial views whose
+	// shuffle traffic shares the capped uplinks.
+	MembershipCyclon = experiment.MembershipCyclon
+)
+
+// OfflineLag selects offline viewing (no deadline) in quality queries.
+const OfflineLag = metrics.InfiniteLag
+
+// JitterThreshold is the paper's quality bar: at most 1% jittered windows.
+const JitterThreshold = metrics.DefaultJitterThreshold
+
+// DefaultProtocol returns the paper's streaming configuration: fanout 7,
+// 200 ms gossip period, X = 1, Y = ∞.
+func DefaultProtocol() ProtocolConfig { return core.DefaultConfig() }
+
+// DefaultLayout returns the paper's stream: 600 kbps in windows of 101 data
+// plus 9 FEC packets, for the given number of windows.
+func DefaultLayout(windows int) StreamLayout { return stream.DefaultLayout(windows) }
+
+// DefaultExperiment returns the paper's baseline deployment: 230 nodes with
+// 700 kbps upload caps streaming ≈212 s.
+func DefaultExperiment() ExperimentConfig { return experiment.Defaults() }
+
+// RunExperiment executes one simulated deployment.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiment.Run(cfg)
+}
+
+// RunExperiments executes several deployments in parallel, preserving
+// order.
+func RunExperiments(cfgs []ExperimentConfig) ([]*ExperimentResult, error) {
+	return experiment.RunMany(cfgs)
+}
+
+// Catastrophe returns a churn schedule failing fraction of the nodes
+// simultaneously at the given time.
+func Catastrophe(at time.Duration, fraction float64) []ChurnEvent {
+	return churn.Catastrophic(at, fraction)
+}
+
+// PercentViewable returns the share of nodes viewing the stream within the
+// jitter bar at the given lag — the y-axis of most of the paper's figures.
+func PercentViewable(qs []Quality, lag time.Duration, maxJitter float64) float64 {
+	return metrics.PercentViewable(qs, lag, maxJitter)
+}
+
+// MeanCompleteFraction returns the average percentage of complete windows
+// across nodes at the given lag — the y-axis of Figure 8.
+func MeanCompleteFraction(qs []Quality, lag time.Duration) float64 {
+	return metrics.MeanCompleteFraction(qs, lag)
+}
+
+// Figure generators — one per table/figure of the paper's evaluation.
+// Passing zero-valued option slices selects the paper's parameters.
+
+// Figure1 sweeps fanout at 700 kbps caps (paper Fig. 1).
+func Figure1(opts FigureOptions, fanouts []int) (*Table, []*ExperimentResult, error) {
+	return experiment.Figure1(opts, fanouts)
+}
+
+// Figure2 derives the stream-lag CDF per fanout (paper Fig. 2), reusing
+// Figure1 results when given.
+func Figure2(opts FigureOptions, fanouts []int, results []*ExperimentResult) (*Table, error) {
+	return experiment.Figure2(opts, fanouts, results)
+}
+
+// Figure3 sweeps fanout at 1000/2000 kbps caps (paper Fig. 3).
+func Figure3(opts FigureOptions, fanouts []int, capsBps []int64) (*Table, error) {
+	return experiment.Figure3(opts, fanouts, capsBps)
+}
+
+// Figure4Combo selects one line of Figure 4.
+type Figure4Combo = experiment.Figure4Combo
+
+// Figure4 reports the sorted per-node upload distribution (paper Fig. 4).
+func Figure4(opts FigureOptions, combos []Figure4Combo) (*Table, error) {
+	return experiment.Figure4(opts, combos)
+}
+
+// Figure5 sweeps the view refresh rate X (paper Fig. 5).
+func Figure5(opts FigureOptions, rates []int) (*Table, error) {
+	return experiment.Figure5(opts, rates)
+}
+
+// Figure6 sweeps the feed-me rate Y with static views (paper Fig. 6).
+func Figure6(opts FigureOptions, rates []int) (*Table, error) {
+	return experiment.Figure6(opts, rates)
+}
+
+// Figure7 sweeps catastrophic churn against X (paper Fig. 7).
+func Figure7(opts FigureOptions, churns []float64, refreshes []int) (*Table, []*ExperimentResult, error) {
+	return experiment.Figure7(opts, churns, refreshes)
+}
+
+// Figure8 reports mean complete windows over the churn grid (paper Fig. 8),
+// reusing Figure7 results when given.
+func Figure8(opts FigureOptions, churns []float64, refreshes []int, results []*ExperimentResult) (*Table, error) {
+	return experiment.Figure8(opts, churns, refreshes, results)
+}
+
+// ChurnClaim evaluates the paper's §1 claim (20% churn, X=1: most nodes
+// unaffected, short outages around the event).
+func ChurnClaim(opts FigureOptions) (ChurnClaimResult, error) {
+	return experiment.ChurnClaim(opts)
+}
+
+// NewLiveCluster builds a localhost UDP cluster of n nodes gossiping the
+// given stream, node 0 acting as the source.
+func NewLiveCluster(n int, protocol ProtocolConfig, layout StreamLayout, capBps int64, seed int64) (*LiveCluster, error) {
+	return rt.NewCluster(n, protocol, layout, capBps, seed)
+}
+
+// EvaluateLive computes a live node's stream quality.
+func EvaluateLive(n *LiveNode, layout StreamLayout) Quality {
+	return metrics.Evaluate(n.Receiver(), layout)
+}
+
+// ChartSeries is one labelled line of an ASCII chart.
+type ChartSeries = metrics.Series
+
+// RenderChart renders series as a monospace scatter chart — a quick way to
+// eyeball a figure's shape in a terminal.
+func RenderChart(title string, width, height int, series []ChartSeries) string {
+	return metrics.Chart(title, width, height, series)
+}

@@ -1,0 +1,134 @@
+package gossipstream
+
+import (
+	"testing"
+	"time"
+)
+
+// smallExperiment keeps facade tests fast.
+func smallExperiment() ExperimentConfig {
+	cfg := DefaultExperiment()
+	cfg.Nodes = 36
+	cfg.Layout.Windows = 10
+	cfg.Drain = 20 * time.Second
+	return cfg
+}
+
+func TestFacadeDefaultsMatchPaper(t *testing.T) {
+	p := DefaultProtocol()
+	if p.Fanout != 7 || p.GossipPeriod != 200*time.Millisecond || p.RefreshEvery != 1 {
+		t.Fatalf("protocol defaults diverge from the paper: %+v", p)
+	}
+	l := DefaultLayout(10)
+	if l.RateBps != 600_000 || l.DataPerWindow != 101 || l.ParityPerWindow != 9 {
+		t.Fatalf("layout defaults diverge from the paper: %+v", l)
+	}
+	e := DefaultExperiment()
+	if e.Nodes != 230 || e.UploadCapBps != 700_000 {
+		t.Fatalf("experiment defaults diverge from the paper: %+v", e)
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	res, err := RunExperiment(smallExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.SurvivorQualities()
+	if got := MeanCompleteFraction(qs, OfflineLag); got < 95 {
+		t.Fatalf("mean complete = %.1f%%, want ≥95%%", got)
+	}
+	if got := PercentViewable(qs, OfflineLag, JitterThreshold); got < 80 {
+		t.Fatalf("viewable = %.1f%%, want ≥80%% on a healthy small system", got)
+	}
+}
+
+func TestFacadeChurnHelpers(t *testing.T) {
+	events := Catastrophe(30*time.Second, 0.2)
+	if len(events) != 1 || events[0].Fraction != 0.2 {
+		t.Fatalf("Catastrophe = %+v", events)
+	}
+	cfg := smallExperiment()
+	cfg.Churn = events
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for _, n := range res.Nodes {
+		if !n.Survived {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatal("churn schedule killed nobody")
+	}
+}
+
+func TestFacadeFigureRoundTrip(t *testing.T) {
+	base := smallExperiment()
+	opts := FigureOptions{Base: &base}
+	tb, results, err := Figure1(opts, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 || len(results) != 1 {
+		t.Fatal("figure 1 facade wiring broken")
+	}
+	tb2, err := Figure2(opts, []int{5}, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.NumRows() == 0 {
+		t.Fatal("figure 2 facade wiring broken")
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	layout := StreamLayout{
+		RateBps:         300_000,
+		PayloadBytes:    1000,
+		DataPerWindow:   6,
+		ParityPerWindow: 2,
+		Windows:         3,
+	}
+	// Fanout 4 with 5 nodes = every propose reaches all peers, so complete
+	// delivery is deterministic up to (retransmitted) localhost loss.
+	protocol := DefaultProtocol()
+	protocol.Fanout = 4
+	protocol.SourceFanout = 4
+	protocol.GossipPeriod = 40 * time.Millisecond
+	protocol.RetPeriod = 300 * time.Millisecond
+	cluster, err := NewLiveCluster(5, protocol, layout, Unlimited, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Generous deadline: when the whole module's tests run in parallel the
+	// scheduler can starve this real-time cluster for seconds at a time.
+	deadline := time.Now().Add(layout.Duration() + 20*time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, n := range cluster.Nodes {
+			if n.Receiver().Delivered() < layout.TotalPackets() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i, n := range cluster.Nodes {
+		q := EvaluateLive(n, layout)
+		if q.CompleteFraction(OfflineLag) < 1 {
+			t.Errorf("live node %d incomplete", i)
+		}
+	}
+}

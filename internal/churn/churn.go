@@ -1,0 +1,71 @@
+// Package churn builds failure schedules for dissemination experiments.
+//
+// The paper's churn study (§4.3) uses catastrophic failures: at a chosen
+// instant, a random fraction of the nodes crash simultaneously and stay
+// dead. No failure detection or repair runs afterwards — survivors keep
+// selecting partners among all nodes, dead ones included.
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gossipstream/internal/wire"
+)
+
+// Event is one failure burst: at time At, Fraction of the eligible nodes
+// crash simultaneously.
+type Event struct {
+	At       time.Duration
+	Fraction float64
+}
+
+// Validate reports whether the event is well formed.
+func (e Event) Validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("churn: event time %v before start", e.At)
+	}
+	if e.Fraction < 0 || e.Fraction > 1 {
+		return fmt.Errorf("churn: fraction %v outside [0,1]", e.Fraction)
+	}
+	return nil
+}
+
+// Catastrophic returns the paper's scenario: one burst killing fraction of
+// the nodes at the given time.
+func Catastrophic(at time.Duration, fraction float64) []Event {
+	return []Event{{At: at, Fraction: fraction}}
+}
+
+// Staggered returns bursts of equal total size split over count events
+// spaced interval apart — an extension scenario for gradual churn.
+func Staggered(start time.Duration, interval time.Duration, count int, totalFraction float64) []Event {
+	if count <= 0 {
+		return nil
+	}
+	per := totalFraction / float64(count)
+	events := make([]Event, count)
+	for i := range events {
+		events[i] = Event{At: start + time.Duration(i)*interval, Fraction: per}
+	}
+	return events
+}
+
+// Pick selects the victims of an event: a uniformly random subset of the
+// eligible nodes sized round(len(eligible) * fraction).
+func Pick(eligible []wire.NodeID, fraction float64, rng *rand.Rand) []wire.NodeID {
+	k := int(float64(len(eligible))*fraction + 0.5)
+	if k <= 0 {
+		return nil
+	}
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	perm := rng.Perm(len(eligible))
+	victims := make([]wire.NodeID, k)
+	for i := 0; i < k; i++ {
+		victims[i] = eligible[perm[i]]
+	}
+	return victims
+}

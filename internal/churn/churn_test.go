@@ -1,0 +1,126 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gossipstream/internal/wire"
+)
+
+func TestEventValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Event
+		ok   bool
+	}{
+		{"valid", Event{At: time.Second, Fraction: 0.2}, true},
+		{"zero fraction", Event{At: time.Second, Fraction: 0}, true},
+		{"full fraction", Event{At: 0, Fraction: 1}, true},
+		{"negative time", Event{At: -time.Second, Fraction: 0.5}, false},
+		{"fraction over 1", Event{At: 0, Fraction: 1.1}, false},
+		{"negative fraction", Event{At: 0, Fraction: -0.1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.e.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCatastrophic(t *testing.T) {
+	events := Catastrophic(30*time.Second, 0.2)
+	if len(events) != 1 || events[0].At != 30*time.Second || events[0].Fraction != 0.2 {
+		t.Fatalf("Catastrophic = %+v", events)
+	}
+}
+
+func TestStaggered(t *testing.T) {
+	events := Staggered(10*time.Second, 5*time.Second, 4, 0.4)
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	total := 0.0
+	for i, e := range events {
+		want := 10*time.Second + time.Duration(i)*5*time.Second
+		if e.At != want {
+			t.Fatalf("event %d at %v, want %v", i, e.At, want)
+		}
+		total += e.Fraction
+	}
+	if total < 0.399 || total > 0.401 {
+		t.Fatalf("total fraction %v, want 0.4", total)
+	}
+	if Staggered(0, 0, 0, 0.5) != nil {
+		t.Fatal("zero-count staggered should be nil")
+	}
+}
+
+func TestPickSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eligible := make([]wire.NodeID, 229) // 230 nodes minus the source
+	for i := range eligible {
+		eligible[i] = wire.NodeID(i + 1)
+	}
+	tests := []struct {
+		fraction float64
+		want     int
+	}{
+		{0, 0}, {0.10, 23}, {0.20, 46}, {0.5, 115}, {0.8, 183}, {1, 229},
+	}
+	for _, tt := range tests {
+		got := Pick(eligible, tt.fraction, rng)
+		if len(got) != tt.want {
+			t.Fatalf("Pick(%v) selected %d, want %d", tt.fraction, len(got), tt.want)
+		}
+	}
+}
+
+func TestPickDistinctAndEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	eligible := []wire.NodeID{5, 6, 7, 8, 9}
+	for trial := 0; trial < 100; trial++ {
+		got := Pick(eligible, 0.6, rng)
+		seen := make(map[wire.NodeID]bool)
+		for _, id := range got {
+			if id < 5 || id > 9 {
+				t.Fatalf("picked ineligible node %d", id)
+			}
+			if seen[id] {
+				t.Fatalf("node %d picked twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPickClampsOverOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eligible := []wire.NodeID{1, 2, 3}
+	if got := Pick(eligible, 1.0, rng); len(got) != 3 {
+		t.Fatalf("Pick(1.0) = %d nodes, want all 3", len(got))
+	}
+}
+
+func TestPickUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	eligible := make([]wire.NodeID, 20)
+	for i := range eligible {
+		eligible[i] = wire.NodeID(i)
+	}
+	counts := make(map[wire.NodeID]int)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		for _, id := range Pick(eligible, 0.25, rng) {
+			counts[id]++
+		}
+	}
+	want := float64(trials) * 0.25 // 750 per node
+	for id, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("node %d picked %d times, want ≈%.0f", id, c, want)
+		}
+	}
+}

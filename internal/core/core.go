@@ -1,0 +1,465 @@
+// Package core implements the paper's contribution: the three-phase
+// gossip-based content-dissemination protocol of Algorithm 1
+// (push ids → request → push payload), specialized for live streaming.
+//
+// Protocol summary (paper §2):
+//
+//  1. Every gossipPeriod (200 ms), a node sends a PROPOSE carrying the ids
+//     of packets delivered since its previous round to f partners chosen by
+//     selectNodes — then forgets them (infect-and-die: each id is proposed
+//     in exactly one round).
+//  2. On PROPOSE, a node REQUESTs the ids it has not requested before
+//     (first proposer wins; duplicates are suppressed so payloads flow at
+//     most once toward each node).
+//  3. On REQUEST, a node SERVEs the payloads it holds.
+//
+// Retransmission (lines 14–15/25): after requesting, a node arms a timer;
+// if some requested ids are still missing when it fires, they are requested
+// again from a remembered proposer, up to MaxRequests times per id. The
+// pseudocode replays the PROPOSE verbatim; we disambiguate by re-requesting
+// from a random recorded proposer of the id, which matches the paper's
+// implementation behaviour (recovering from congested or dead servers).
+//
+// Proactiveness (paper §3) is delegated to internal/member: the view
+// refresh rate X and the feed-me rate Y.
+//
+// The engine is transport-agnostic: all interaction with time and the
+// network goes through Env, implemented by the discrete-event simulator
+// (internal/experiment) and the real-time UDP driver (internal/rt).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gossipstream/internal/member"
+	"gossipstream/internal/stream"
+	"gossipstream/internal/wire"
+)
+
+// Env is the environment a peer runs in. Implementations must invoke the
+// peer's handlers sequentially (never concurrently).
+type Env interface {
+	// ID returns the local node id.
+	ID() wire.NodeID
+	// Now returns elapsed time since the experiment epoch.
+	Now() time.Duration
+	// Send transmits a message with UDP semantics (may be lost, no order).
+	Send(to wire.NodeID, msg wire.Message)
+	// After schedules fn once after d; the returned function cancels it.
+	After(d time.Duration, fn func()) (cancel func())
+	// Rand returns the node's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// RetryPolicy selects the target of retransmitted REQUESTs.
+type RetryPolicy int
+
+const (
+	// RetrySameProposer replays the original PROPOSE: missing ids are
+	// re-requested from the node first requested — the literal reading of
+	// Algorithm 1 line 25 and the default.
+	RetrySameProposer RetryPolicy = iota + 1
+	// RetryRandomProposer re-requests from a uniformly random recorded
+	// proposer of the id. This is an extension beyond the paper: it doubles
+	// as fail-over (dead or congested servers get routed around), which
+	// measurably blunts the penalties of static views and churn — see the
+	// ablation benchmarks.
+	RetryRandomProposer
+)
+
+// Config carries the protocol parameters studied in the paper.
+type Config struct {
+	// Fanout is f, the number of partners contacted per gossip operation.
+	// The paper's optimum for n=230 at 700 kbps is 7 ≈ ln(230)+1.6.
+	Fanout int
+	// SourceFanout is the fanout of the stream source (7 in all the
+	// paper's experiments).
+	SourceFanout int
+	// GossipPeriod is the time between gossip operations (200 ms).
+	GossipPeriod time.Duration
+	// RefreshEvery is X: partners change every X selectNodes calls;
+	// member.Never keeps them forever.
+	RefreshEvery int
+	// FeedEvery is Y: every Y rounds the node asks Fanout random nodes to
+	// feed it; member.Never disables.
+	FeedEvery int
+	// RetPeriod is the retransmission timer delay.
+	RetPeriod time.Duration
+	// MaxRequests is K: the maximum number of REQUESTs (initial plus
+	// retransmissions) issued per packet id.
+	MaxRequests int
+	// MaxProposers bounds the remembered proposers per id.
+	MaxProposers int
+	// Retry selects the retransmission target policy.
+	Retry RetryPolicy
+}
+
+// DefaultConfig returns the paper's streaming configuration with its
+// optimal fanout.
+func DefaultConfig() Config {
+	return Config{
+		Fanout:       7,
+		SourceFanout: 7,
+		GossipPeriod: 200 * time.Millisecond,
+		RefreshEvery: 1,
+		FeedEvery:    member.Never,
+		RetPeriod:    3 * time.Second,
+		MaxRequests:  4,
+		MaxProposers: 4,
+		Retry:        RetrySameProposer,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Fanout <= 0:
+		return fmt.Errorf("core: Fanout = %d, want > 0", c.Fanout)
+	case c.SourceFanout <= 0:
+		return fmt.Errorf("core: SourceFanout = %d, want > 0", c.SourceFanout)
+	case c.GossipPeriod <= 0:
+		return fmt.Errorf("core: GossipPeriod = %v, want > 0", c.GossipPeriod)
+	case c.RefreshEvery < 0:
+		return fmt.Errorf("core: RefreshEvery = %d, want >= 0", c.RefreshEvery)
+	case c.FeedEvery < 0:
+		return fmt.Errorf("core: FeedEvery = %d, want >= 0", c.FeedEvery)
+	case c.RetPeriod <= 0:
+		return fmt.Errorf("core: RetPeriod = %v, want > 0", c.RetPeriod)
+	case c.MaxRequests <= 0:
+		return fmt.Errorf("core: MaxRequests = %d, want > 0", c.MaxRequests)
+	case c.MaxProposers <= 0:
+		return fmt.Errorf("core: MaxProposers = %d, want > 0", c.MaxProposers)
+	case c.Retry != RetrySameProposer && c.Retry != RetryRandomProposer:
+		return fmt.Errorf("core: unknown retry policy %d", c.Retry)
+	}
+	return nil
+}
+
+// requestState tracks the pull lifecycle of one packet id.
+type requestState struct {
+	requests  int // REQUESTs issued so far (K cap)
+	proposers []wire.NodeID
+}
+
+// Counters exposes protocol-level statistics of a peer.
+type Counters struct {
+	Rounds          int
+	ProposesSent    int
+	RequestsSent    int
+	ServesSent      int
+	PacketsServed   int
+	Retransmissions int
+	FeedMesSent     int
+	DuplicateServes int
+}
+
+// Peer is one protocol participant. A Peer with a non-nil source publishes
+// the stream; all peers propose, request, and serve identically.
+//
+// Peer methods are not safe for concurrent use; drivers serialize calls.
+type Peer struct {
+	env     Env
+	cfg     Config
+	sampler member.Sampler
+	view    *member.View
+	recv    *stream.Receiver
+
+	source *stream.Source // nil for ordinary peers
+
+	store     map[stream.PacketID]*stream.Packet
+	toPropose []stream.PacketID
+	req       map[stream.PacketID]*requestState
+
+	round       int
+	running     bool
+	cancelTick  func()
+	retCancels  map[int]func()
+	nextRetID   int
+	counters    Counters
+	layoutTotal int
+}
+
+// NewPeer returns an ordinary (non-source) peer over the given sampler.
+func NewPeer(env Env, cfg Config, sampler member.Sampler, layout stream.Layout) (*Peer, error) {
+	return newPeer(env, cfg, sampler, layout, nil)
+}
+
+// NewSourcePeer returns the stream source: it publishes src's packets as
+// they are produced and gossips their ids with SourceFanout.
+func NewSourcePeer(env Env, cfg Config, sampler member.Sampler, src *stream.Source) (*Peer, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil stream source")
+	}
+	return newPeer(env, cfg, sampler, src.Layout(), src)
+}
+
+func newPeer(env Env, cfg Config, sampler member.Sampler, layout stream.Layout, src *stream.Source) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	fanout := cfg.Fanout
+	if src != nil {
+		fanout = cfg.SourceFanout
+	}
+	p := &Peer{
+		env:         env,
+		cfg:         cfg,
+		sampler:     sampler,
+		view:        member.NewView(sampler, fanout, cfg.RefreshEvery, env.Rand()),
+		recv:        stream.NewReceiver(layout),
+		source:      src,
+		store:       make(map[stream.PacketID]*stream.Packet),
+		req:         make(map[stream.PacketID]*requestState),
+		retCancels:  make(map[int]func()),
+		layoutTotal: layout.TotalPackets(),
+	}
+	return p, nil
+}
+
+// Start begins gossiping. The first round fires after a random fraction of
+// the gossip period so nodes are not synchronized.
+func (p *Peer) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	offset := time.Duration(p.env.Rand().Int63n(int64(p.cfg.GossipPeriod)))
+	p.cancelTick = p.env.After(offset, p.tick)
+}
+
+// Stop halts gossip rounds and pending retransmission timers. Already
+// in-flight messages still arrive; handlers on a stopped peer are no-ops.
+func (p *Peer) Stop() {
+	p.running = false
+	if p.cancelTick != nil {
+		p.cancelTick()
+		p.cancelTick = nil
+	}
+	for _, cancel := range p.retCancels {
+		cancel()
+	}
+	p.retCancels = make(map[int]func())
+}
+
+// Receiver exposes per-window delivery state for metrics.
+func (p *Peer) Receiver() *stream.Receiver { return p.recv }
+
+// Counters returns a snapshot of protocol statistics.
+func (p *Peer) Counters() Counters { return p.counters }
+
+// IsSource reports whether this peer publishes the stream.
+func (p *Peer) IsSource() bool { return p.source != nil }
+
+// tick runs one gossip round (Algorithm 1, "upon GossipTimer").
+func (p *Peer) tick() {
+	if !p.running {
+		return
+	}
+	p.round++
+	p.counters.Rounds++
+
+	if p.source != nil {
+		p.publishNew()
+	}
+	if p.cfg.FeedEvery != member.Never && p.round%p.cfg.FeedEvery == 0 {
+		p.sendFeedMe()
+	}
+
+	if len(p.toPropose) > 0 {
+		ids := p.toPropose
+		p.toPropose = nil // infect and die
+		partners := p.view.Partners()
+		for _, chunk := range wire.SplitIDs(ids) {
+			msg := wire.Propose{IDs: chunk}
+			for _, partner := range partners {
+				p.env.Send(partner, msg)
+				p.counters.ProposesSent++
+			}
+		}
+	}
+
+	p.cancelTick = p.env.After(p.cfg.GossipPeriod, p.tick)
+}
+
+// publishNew delivers freshly produced stream packets locally (publish(e) in
+// Algorithm 1) and queues their ids for this round's gossip.
+func (p *Peer) publishNew() {
+	for _, pkt := range p.source.PacketsUntil(p.env.Now()) {
+		p.recv.Deliver(pkt.ID, p.env.Now())
+		p.store[pkt.ID] = pkt
+		p.toPropose = append(p.toPropose, pkt.ID)
+	}
+}
+
+// sendFeedMe implements knob Y: ask Fanout fresh random nodes (independent
+// of the current partner set, paper §3) to insert us into their views.
+func (p *Peer) sendFeedMe() {
+	for _, target := range p.sampler.Sample(p.cfg.Fanout) {
+		p.env.Send(target, wire.FeedMe{})
+		p.counters.FeedMesSent++
+	}
+}
+
+// HandleMessage dispatches a delivered message to the protocol handlers.
+func (p *Peer) HandleMessage(from wire.NodeID, msg wire.Message) {
+	if !p.running {
+		return
+	}
+	switch m := msg.(type) {
+	case wire.Propose:
+		p.handlePropose(from, m)
+	case wire.Request:
+		p.handleRequest(from, m)
+	case wire.Serve:
+		p.handleServe(m)
+	case wire.FeedMe:
+		p.view.Insert(from)
+	default:
+		// Unknown kinds are dropped silently, like unparseable datagrams.
+	}
+}
+
+// handlePropose implements phase 2: request ids not yet requested, then arm
+// the retransmission timer for them (lines 14–15). One timer chain runs per
+// requested batch — re-arming on every later PROPOSE for the same pending
+// ids would multiply retries K-fold and melt congested uplinks further.
+func (p *Peer) handlePropose(from wire.NodeID, m wire.Propose) {
+	if p.source != nil {
+		return // the source already has everything
+	}
+	var wanted []stream.PacketID
+	for _, id := range m.IDs {
+		if int(id) >= p.layoutTotal {
+			continue
+		}
+		if p.recv.Has(id) {
+			continue
+		}
+		st := p.req[id]
+		if st == nil {
+			st = &requestState{}
+			p.req[id] = st
+		}
+		if len(st.proposers) < p.cfg.MaxProposers {
+			st.proposers = append(st.proposers, from)
+		}
+		if st.requests == 0 {
+			st.requests = 1
+			wanted = append(wanted, id)
+		}
+	}
+	if len(wanted) == 0 {
+		return
+	}
+	for _, chunk := range wire.SplitIDs(wanted) {
+		p.env.Send(from, wire.Request{IDs: chunk})
+		p.counters.RequestsSent++
+	}
+	if p.cfg.MaxRequests > 1 {
+		p.armRetTimer(from, wanted)
+	}
+}
+
+// armRetTimer schedules a retransmission check for ids first requested from
+// proposer (lines 14–15). The delay is jittered over [1.0, 1.5]×RetPeriod:
+// a burst of requesters dropped together at one congested uplink must not
+// retry in lock-step or they re-create the very burst that dropped them.
+// Jitter only extends the delay — RetPeriod is chosen to exceed the
+// worst-case honest delivery time, and firing earlier than that turns
+// queued-but-coming serves into duplicates.
+func (p *Peer) armRetTimer(proposer wire.NodeID, ids []stream.PacketID) {
+	retID := p.nextRetID
+	p.nextRetID++
+	idsCopy := make([]stream.PacketID, len(ids))
+	copy(idsCopy, ids)
+	delay := time.Duration(float64(p.cfg.RetPeriod) * (1.0 + 0.5*p.env.Rand().Float64()))
+	p.retCancels[retID] = p.env.After(delay, func() {
+		delete(p.retCancels, retID)
+		p.retransmit(proposer, idsCopy)
+	})
+}
+
+// retransmit re-requests still-missing ids, respecting the K = MaxRequests
+// cap (line 25). The target is the original proposer (RetrySameProposer,
+// replaying the PROPOSE as the pseudocode does) or a random recorded one.
+func (p *Peer) retransmit(proposer wire.NodeID, ids []stream.PacketID) {
+	if !p.running {
+		return
+	}
+	perTarget := make(map[wire.NodeID][]stream.PacketID)
+	var again []stream.PacketID
+	for _, id := range ids {
+		if p.recv.Has(id) {
+			continue
+		}
+		st := p.req[id]
+		if st == nil || st.requests >= p.cfg.MaxRequests {
+			continue
+		}
+		st.requests++
+		target := proposer
+		if p.cfg.Retry == RetryRandomProposer && len(st.proposers) > 0 {
+			target = st.proposers[p.env.Rand().Intn(len(st.proposers))]
+		}
+		perTarget[target] = append(perTarget[target], id)
+		again = append(again, id)
+	}
+	for target, tids := range perTarget {
+		for _, chunk := range wire.SplitIDs(tids) {
+			p.env.Send(target, wire.Request{IDs: chunk})
+			p.counters.RequestsSent++
+			p.counters.Retransmissions++
+		}
+	}
+	if len(again) > 0 {
+		p.armRetTimer(proposer, again)
+	}
+}
+
+// handleRequest implements phase 3: serve the payloads we hold.
+func (p *Peer) handleRequest(from wire.NodeID, m wire.Request) {
+	var pkts []*stream.Packet
+	for _, id := range m.IDs {
+		if pkt := p.lookup(id); pkt != nil {
+			pkts = append(pkts, pkt)
+		}
+	}
+	if len(pkts) == 0 {
+		return
+	}
+	for _, serve := range wire.SplitServe(pkts) {
+		p.env.Send(from, serve)
+		p.counters.ServesSent++
+		p.counters.PacketsServed += len(serve.Packets)
+	}
+}
+
+// lookup fetches a packet from the local store (getEvent in Algorithm 1).
+func (p *Peer) lookup(id stream.PacketID) *stream.Packet {
+	if pkt, ok := p.store[id]; ok {
+		return pkt
+	}
+	if p.source != nil {
+		return p.source.Packet(id)
+	}
+	return nil
+}
+
+// handleServe delivers payloads (deliverEvent) and queues fresh ids for the
+// next round's propose.
+func (p *Peer) handleServe(m wire.Serve) {
+	for _, pkt := range m.Packets {
+		if !p.recv.Deliver(pkt.ID, p.env.Now()) {
+			p.counters.DuplicateServes++
+			continue
+		}
+		p.store[pkt.ID] = pkt
+		p.toPropose = append(p.toPropose, pkt.ID)
+		delete(p.req, pkt.ID) // retransmission state no longer needed
+	}
+}

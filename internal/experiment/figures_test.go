@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gossipstream/internal/member"
+)
+
+// tinyOptions shrinks figure runs to seconds for tests.
+func tinyOptions() Options {
+	base := Defaults()
+	base.Nodes = 36
+	base.Layout.Windows = 10
+	base.Drain = 20 * time.Second
+	return Options{Base: &base}
+}
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestOptionsScale(t *testing.T) {
+	o := Options{Scale: 0.1}
+	cfg := o.base()
+	if cfg.Nodes != 23 || cfg.Layout.Windows != 12 {
+		t.Fatalf("Scale(0.1) → nodes=%d windows=%d, want 23, 12", cfg.Nodes, cfg.Layout.Windows)
+	}
+	o = Options{Scale: 0.001}
+	cfg = o.base()
+	if cfg.Nodes < 16 || cfg.Layout.Windows < 10 {
+		t.Fatal("Scale floor not applied")
+	}
+	if (Options{}).base().Nodes != 230 {
+		t.Fatal("zero Options must use paper scale")
+	}
+}
+
+func TestFigure1SmallScale(t *testing.T) {
+	fanouts := []int{3, 6, 24}
+	tb, results, err := Figure1(tinyOptions(), fanouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != len(fanouts) {
+		t.Fatalf("figure 1 has %d rows, want %d", tb.NumRows(), len(fanouts))
+	}
+	if len(results) != len(fanouts) {
+		t.Fatalf("figure 1 returned %d results", len(results))
+	}
+	// The middle fanout (≈ln n + 2) must beat both extremes on the offline
+	// metric — the bell shape at miniature scale.
+	low := parseCell(t, tb.Row(0)[1])
+	mid := parseCell(t, tb.Row(1)[1])
+	high := parseCell(t, tb.Row(2)[1])
+	if mid < low || mid < high {
+		t.Fatalf("no bell shape: offline%% = %v / %v / %v for fanouts %v", low, mid, high, fanouts)
+	}
+	if !strings.Contains(tb.String(), "700 kbps") {
+		t.Fatal("figure 1 title missing context")
+	}
+}
+
+func TestFigure2ReusesResults(t *testing.T) {
+	fanouts := []int{6}
+	_, results, err := Figure1(tinyOptions(), fanouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Figure2(tinyOptions(), fanouts, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Columns) != 2 {
+		t.Fatalf("figure 2 has %d columns, want 2", len(tb.Columns))
+	}
+	// CDF must be nondecreasing down the lag axis.
+	prev := -1.0
+	for i := 0; i < tb.NumRows(); i++ {
+		v := parseCell(t, tb.Row(i)[1])
+		if v < prev {
+			t.Fatalf("figure 2 CDF decreases at row %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	// Mismatched reuse is rejected.
+	if _, err := Figure2(tinyOptions(), []int{6, 7}, results); err == nil {
+		t.Fatal("figure 2 accepted mismatched results")
+	}
+}
+
+func TestFigure3SmallScale(t *testing.T) {
+	tb, err := Figure3(tinyOptions(), []int{6, 24}, []int64{1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || len(tb.Columns) != 3 {
+		t.Fatalf("figure 3 shape = %dx%d, want 2 rows × 3 cols", tb.NumRows(), len(tb.Columns))
+	}
+}
+
+func TestFigure4Distribution(t *testing.T) {
+	tb, err := Figure4(tinyOptions(), []Figure4Combo{{Fanout: 6, CapBps: 700_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted-descending invariant down the rank column.
+	prev := 1e18
+	for i := 0; i < tb.NumRows(); i++ {
+		v := parseCell(t, tb.Row(i)[1])
+		if v > prev {
+			t.Fatalf("figure 4 distribution not descending at row %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestFigure5And6SmallScale(t *testing.T) {
+	tb5, err := Figure5(tinyOptions(), []int{1, member.Never})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb5.NumRows() != 2 {
+		t.Fatalf("figure 5 rows = %d, want 2", tb5.NumRows())
+	}
+	if tb5.Row(1)[0] != "inf" {
+		t.Fatalf("figure 5 renders Never as %q, want inf", tb5.Row(1)[0])
+	}
+	// X=1 must dominate X=∞ on mean complete %.
+	if parseCell(t, tb5.Row(0)[4]) < parseCell(t, tb5.Row(1)[4]) {
+		t.Fatal("figure 5: X=1 not better than X=∞")
+	}
+
+	tb6, err := Figure6(tinyOptions(), []int{1, member.Never})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parseCell(t, tb6.Row(0)[4]) < parseCell(t, tb6.Row(1)[4]) {
+		t.Fatal("figure 6: Y=1 not better than Y=∞")
+	}
+}
+
+func TestFigure7And8ShareResults(t *testing.T) {
+	churns := []float64{0, 0.3}
+	refreshes := []int{1, member.Never}
+	tb7, results, err := Figure7(tinyOptions(), churns, refreshes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb7.NumRows() != len(churns) {
+		t.Fatalf("figure 7 rows = %d, want %d", tb7.NumRows(), len(churns))
+	}
+	tb8, err := Figure8(tinyOptions(), churns, refreshes, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb8.NumRows() != len(churns) || len(tb8.Columns) != 3 {
+		t.Fatalf("figure 8 shape wrong: %dx%d", tb8.NumRows(), len(tb8.Columns))
+	}
+	// At 30% churn, X=1's mean complete-window share must beat X=∞'s.
+	if parseCell(t, tb8.Row(1)[1]) < parseCell(t, tb8.Row(1)[2]) {
+		t.Fatal("figure 8: X=1 not better than X=∞ under churn")
+	}
+	// Mismatched reuse rejected.
+	if _, err := Figure8(tinyOptions(), []float64{0}, refreshes, results); err == nil {
+		t.Fatal("figure 8 accepted mismatched results")
+	}
+}
+
+func TestChurnClaimSmallScale(t *testing.T) {
+	got, err := ChurnClaim(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UnaffectedPct < 30 {
+		t.Fatalf("unaffected = %.1f%%, implausibly low for 20%% churn with X=1", got.UnaffectedPct)
+	}
+	if got.UnaffectedPct < 100 && got.MeanOutage <= 0 {
+		t.Fatal("affected nodes reported with zero outage span")
+	}
+}
+
+func TestRateLabel(t *testing.T) {
+	if rateLabel(member.Never) != "inf" || rateLabel(7) != "7" {
+		t.Fatal("rateLabel wrong")
+	}
+}

@@ -1,0 +1,404 @@
+// Package experiment wires the substrates into complete simulated
+// deployments of the paper's streaming system and regenerates every table
+// and figure of the evaluation (§4).
+//
+// A Run builds one "testbed": a simulated network (internal/simnet) with a
+// source node publishing the stream and n-1 peers gossiping it
+// (internal/core), optional churn (internal/churn), and metric collection
+// (internal/metrics). Figures are parameter sweeps over Runs executed in
+// parallel.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"gossipstream/internal/churn"
+	"gossipstream/internal/core"
+	"gossipstream/internal/member"
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/pss"
+	"gossipstream/internal/shaping"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/simnet"
+	"gossipstream/internal/stream"
+	"gossipstream/internal/wire"
+)
+
+// Membership selects the partner-sampling substrate.
+type Membership int
+
+const (
+	// MembershipFull is the paper's model: selectNodes draws uniformly
+	// from global knowledge of all nodes. The zero value resolves to this.
+	MembershipFull Membership = iota + 1
+	// MembershipCyclon samples from Cyclon-style partial views maintained
+	// by internal/pss — the realistic deployment substrate. Its shuffle
+	// traffic shares the capped uplinks with the stream.
+	MembershipCyclon
+)
+
+// Config describes one experiment run. Zero-valued fields are filled by
+// Defaults' values where documented.
+type Config struct {
+	// Nodes is the system size including the source (the paper uses 230).
+	Nodes int
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Protocol carries the gossip parameters (fanout, X, Y, ...).
+	Protocol core.Config
+	// Layout describes the stream (rate, window shape, length).
+	Layout stream.Layout
+	// UploadCapBps caps each non-source node's upload (700/1000/2000 kbps
+	// in the paper). shaping.Unlimited disables the cap.
+	UploadCapBps int64
+	// UploadCapMix, when non-empty, assigns heterogeneous caps instead:
+	// non-source node i gets UploadCapMix[(i-1) % len]. The paper's
+	// abstract studies "various upload-bandwidth distributions"; this
+	// models mixed populations (e.g. DSL uploaders among fiber nodes).
+	UploadCapMix []int64
+	// SourceCapBps caps the source's upload. The default (Unlimited)
+	// matches the paper's deployment where the source was not the
+	// bottleneck: it must sustain ≈ SourceFanout × stream rate.
+	SourceCapBps int64
+	// QueueBytes bounds each uplink queue (the throttling buffer).
+	QueueBytes int64
+	// Net controls latency heterogeneity and ambient loss.
+	Net simnet.Config
+	// Churn lists failure bursts; victims are non-source nodes.
+	Churn []churn.Event
+	// Drain is extra simulated time after the stream ends, letting
+	// throttled queues flush (offline viewing needs it).
+	Drain time.Duration
+	// Membership selects full-view (paper) or Cyclon partial-view
+	// sampling; the zero value is MembershipFull.
+	Membership Membership
+	// PSS parameterizes the Cyclon substrate when MembershipCyclon is
+	// selected; the zero value uses pss.DefaultConfig.
+	PSS pss.Config
+}
+
+// Defaults returns the paper's baseline configuration: 230 nodes, 600 kbps
+// stream, 700 kbps caps, fanout 7, X=1, Y=∞.
+func Defaults() Config {
+	return Config{
+		Nodes:        230,
+		Seed:         1,
+		Protocol:     core.DefaultConfig(),
+		Layout:       stream.DefaultLayout(120), // ≈212 s of stream
+		UploadCapBps: 700_000,
+		SourceCapBps: shaping.Unlimited,
+		QueueBytes:   128 << 10,
+		Net:          simnet.DefaultConfig(),
+		Drain:        60 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("experiment: Nodes = %d, want >= 2", c.Nodes)
+	}
+	if err := c.Protocol.Validate(); err != nil {
+		return err
+	}
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.UploadCapBps < 0 || c.SourceCapBps < 0 {
+		return fmt.Errorf("experiment: negative bandwidth cap")
+	}
+	for i, capBps := range c.UploadCapMix {
+		if capBps < 0 {
+			return fmt.Errorf("experiment: UploadCapMix[%d] = %d, want >= 0", i, capBps)
+		}
+	}
+	if c.QueueBytes <= 0 && c.UploadCapBps != shaping.Unlimited {
+		return fmt.Errorf("experiment: QueueBytes = %d with capped uplinks", c.QueueBytes)
+	}
+	if c.Drain < 0 {
+		return fmt.Errorf("experiment: negative drain %v", c.Drain)
+	}
+	for _, e := range c.Churn {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	switch c.Membership {
+	case 0, MembershipFull:
+	case MembershipCyclon:
+		cfg := c.PSS
+		if cfg == (pss.Config{}) {
+			cfg = pss.DefaultConfig()
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("experiment: unknown membership %d", c.Membership)
+	}
+	return nil
+}
+
+// NodeResult captures one node's outcome.
+type NodeResult struct {
+	ID       wire.NodeID
+	Survived bool
+	Quality  metrics.Quality
+	// UploadKbps is the node's average upload rate over the run.
+	UploadKbps float64
+	// BaseLatencyMS is the node's drawn base latency.
+	BaseLatencyMS float64
+	Counters      core.Counters
+	Stats         simnet.Stats
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Config   Config
+	Duration time.Duration // simulated time executed
+	// Nodes holds one entry per non-source node, indexed by id-1.
+	Nodes []NodeResult
+	// SourceCounters and SourceStats describe node 0, the stream source
+	// (its quality is trivially perfect and therefore not in Nodes).
+	SourceCounters core.Counters
+	SourceStats    simnet.Stats
+	// Events is the number of simulator events executed (cost measure).
+	Events uint64
+}
+
+// SurvivorQualities returns the qualities of nodes alive at the end — the
+// population of Figures 1–3 and 5–8.
+func (r *Result) SurvivorQualities() []metrics.Quality {
+	out := make([]metrics.Quality, 0, len(r.Nodes))
+	for _, n := range r.Nodes {
+		if n.Survived {
+			out = append(out, n.Quality)
+		}
+	}
+	return out
+}
+
+// UploadDistribution returns every node's average upload rate in kbps,
+// sorted descending — Figure 4's curve.
+func (r *Result) UploadDistribution() []float64 {
+	out := make([]float64, 0, len(r.Nodes))
+	for _, n := range r.Nodes {
+		out = append(out, n.UploadKbps)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Run executes one simulated deployment and collects metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := sim.New(cfg.Seed)
+	net := simnet.New(sched, cfg.Net)
+
+	src, err := stream.NewSource(cfg.Layout, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	pssCfg := cfg.PSS
+	if pssCfg == (pss.Config{}) {
+		pssCfg = pss.DefaultConfig()
+	}
+	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
+
+	peers := make([]*core.Peer, cfg.Nodes)
+	samplers := make([]*pss.Node, cfg.Nodes) // nil under MembershipFull
+	for i := 0; i < cfg.Nodes; i++ {
+		id := wire.NodeID(i)
+		rng := rand.New(rand.NewSource(cfg.Seed<<20 + int64(i)))
+		env := &nodeEnv{id: id, net: net, sched: sched, rng: rng}
+		var sampler member.Sampler
+		if cfg.Membership == MembershipCyclon {
+			boot := bootstrapIDs(id, cfg.Nodes, pssCfg.ShuffleLen, bootRng)
+			samplers[i], err = pss.New(env, pssCfg, boot)
+			if err != nil {
+				return nil, err
+			}
+			sampler = samplers[i]
+		} else {
+			sampler = member.NewFullView(id, cfg.Nodes, rng)
+		}
+		var p *core.Peer
+		if i == 0 {
+			p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
+		} else {
+			p, err = core.NewPeer(env, cfg.Protocol, sampler, cfg.Layout)
+		}
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = p
+		cap := cfg.UploadCapBps
+		switch {
+		case i == 0:
+			cap = cfg.SourceCapBps
+		case len(cfg.UploadCapMix) > 0:
+			cap = cfg.UploadCapMix[(i-1)%len(cfg.UploadCapMix)]
+		}
+		net.AddNode(dispatch{peer: p, pss: samplers[i]}, cap, cfg.QueueBytes)
+	}
+
+	for i, p := range peers {
+		if samplers[i] != nil {
+			samplers[i].Start()
+		}
+		p.Start()
+	}
+
+	// Schedule churn bursts. Victims are picked from nodes still alive at
+	// burst time, never the source.
+	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	for _, ev := range cfg.Churn {
+		ev := ev
+		sched.At(ev.At, func() {
+			var eligible []wire.NodeID
+			for i := 1; i < cfg.Nodes; i++ {
+				if net.Alive(wire.NodeID(i)) {
+					eligible = append(eligible, wire.NodeID(i))
+				}
+			}
+			for _, victim := range churn.Pick(eligible, ev.Fraction, churnRng) {
+				net.Crash(victim)
+				peers[victim].Stop()
+				if samplers[victim] != nil {
+					samplers[victim].Stop()
+				}
+			}
+		})
+	}
+
+	end := cfg.Layout.Duration() + cfg.Drain
+	sched.RunUntil(end)
+
+	res := &Result{
+		Config:         cfg,
+		Duration:       end,
+		SourceCounters: peers[0].Counters(),
+		SourceStats:    net.NodeStats(0),
+		Events:         sched.Fired(),
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		id := wire.NodeID(i)
+		stats := net.NodeStats(id)
+		res.Nodes = append(res.Nodes, NodeResult{
+			ID:            id,
+			Survived:      net.Alive(id),
+			Quality:       metrics.Evaluate(peers[i].Receiver(), cfg.Layout),
+			UploadKbps:    float64(stats.TotalSentBytes()) * 8 / end.Seconds() / 1000,
+			BaseLatencyMS: float64(net.BaseLatency(id)) / float64(time.Millisecond),
+			Counters:      peers[i].Counters(),
+			Stats:         stats,
+		})
+	}
+	return res, nil
+}
+
+// dispatch routes shuffle traffic to the sampling service and everything
+// else to the streaming engine.
+type dispatch struct {
+	peer *core.Peer
+	pss  *pss.Node
+}
+
+// HandleMessage implements simnet.Handler.
+func (d dispatch) HandleMessage(from wire.NodeID, msg wire.Message) {
+	if _, ok := msg.(wire.Shuffle); ok {
+		if d.pss != nil {
+			d.pss.HandleMessage(from, msg)
+		}
+		return
+	}
+	d.peer.HandleMessage(from, msg)
+}
+
+// bootstrapIDs seeds a Cyclon view with k distinct random peers.
+func bootstrapIDs(self wire.NodeID, n, k int, rng *rand.Rand) []wire.NodeID {
+	ids := make(map[wire.NodeID]bool, k)
+	for len(ids) < k && len(ids) < n-1 {
+		id := wire.NodeID(rng.Intn(n))
+		if id != self {
+			ids[id] = true
+		}
+	}
+	out := make([]wire.NodeID, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// nodeEnv adapts the simulator to core.Env for one node.
+type nodeEnv struct {
+	id    wire.NodeID
+	net   *simnet.Network
+	sched *sim.Scheduler
+	rng   *rand.Rand
+}
+
+func (e *nodeEnv) ID() wire.NodeID    { return e.id }
+func (e *nodeEnv) Now() time.Duration { return e.sched.Now() }
+func (e *nodeEnv) Send(to wire.NodeID, msg wire.Message) {
+	e.net.Send(e.id, to, msg)
+}
+func (e *nodeEnv) After(d time.Duration, fn func()) func() {
+	ev := e.sched.After(d, fn)
+	return func() { e.sched.Cancel(ev) }
+}
+func (e *nodeEnv) Rand() *rand.Rand { return e.rng }
+
+// RunMany executes configurations in parallel (bounded by GOMAXPROCS) and
+// returns results in input order. The first error aborts the batch.
+func RunMany(cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8 // each run can hold >100 MB of packet state
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

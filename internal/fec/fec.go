@@ -1,0 +1,184 @@
+// Package fec implements the systematic forward-error-correction code the
+// paper's source applies to each stream window: 101 data packets are
+// extended with 9 parity packets so that any 101 of the 110 reconstruct the
+// window ("systematic coding", §4 of the paper).
+//
+// The code is a classic systematic Reed–Solomon erasure code over GF(2^8):
+// the generator matrix is a Vandermonde matrix row-reduced so its top k×k
+// block is the identity. Data shares are therefore transmitted verbatim and
+// decoding is only needed for windows with losses.
+package fec
+
+import (
+	"errors"
+	"fmt"
+
+	"gossipstream/internal/gf256"
+)
+
+// Common parameters from the paper's streaming configuration.
+const (
+	// PaperDataShares is the number of original packets per window.
+	PaperDataShares = 101
+	// PaperParityShares is the number of FEC packets per window.
+	PaperParityShares = 9
+	// PaperTotalShares is the total window size in packets.
+	PaperTotalShares = PaperDataShares + PaperParityShares
+)
+
+// ErrNotEnoughShares is returned by Reconstruct when fewer than k distinct
+// shares are supplied.
+var ErrNotEnoughShares = errors.New("fec: not enough shares to reconstruct")
+
+// Code is an immutable (k, k+m) systematic erasure code. It is safe for
+// concurrent use once constructed.
+type Code struct {
+	k, m int
+	// gen is the (k+m)×k generator matrix; its top k rows are the identity.
+	gen *gf256.Matrix
+}
+
+// New constructs a systematic code with k data shares and m parity shares.
+// k+m must not exceed 255 (the nonzero-element count of GF(2^8) bounds the
+// number of distinct Vandermonde rows).
+func New(k, m int) (*Code, error) {
+	if k <= 0 || m < 0 {
+		return nil, fmt.Errorf("fec: invalid parameters k=%d m=%d", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("fec: k+m = %d exceeds 255", k+m)
+	}
+	v := gf256.Vandermonde(k+m, k)
+	// Row-reduce so the top k×k block becomes the identity: gen = V × top⁻¹.
+	top := gf256.NewMatrix(k, k)
+	for r := 0; r < k; r++ {
+		top.SetRow(r, v.Row(r))
+	}
+	topInv, err := top.Invert()
+	if err != nil {
+		// Unreachable for a Vandermonde matrix with distinct rows; surface
+		// it anyway rather than panicking in library code.
+		return nil, fmt.Errorf("fec: generator construction: %w", err)
+	}
+	return &Code{k: k, m: m, gen: v.Mul(topInv)}, nil
+}
+
+// MustNew is New for parameters known to be valid at compile time.
+func MustNew(k, m int) *Code {
+	c, err := New(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DataShares returns k, the number of data shares.
+func (c *Code) DataShares() int { return c.k }
+
+// ParityShares returns m, the number of parity shares.
+func (c *Code) ParityShares() int { return c.m }
+
+// TotalShares returns k+m.
+func (c *Code) TotalShares() int { return c.k + c.m }
+
+// Encode computes the m parity shares for the given k data shares. All data
+// shares must have equal length. The returned parity slices are freshly
+// allocated.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("fec: Encode got %d data shares, want %d", len(data), c.k)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("fec: share %d has length %d, want %d", i, len(d), size)
+		}
+	}
+	parity := make([][]byte, c.m)
+	for p := 0; p < c.m; p++ {
+		row := c.gen.Row(c.k + p)
+		out := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			gf256.MulSlice(row[j], data[j], out)
+		}
+		parity[p] = out
+	}
+	return parity, nil
+}
+
+// Share is one received share of a window: its index in [0, k+m) and its
+// payload. Indexes below k are data shares, the rest parity.
+type Share struct {
+	Index int
+	Data  []byte
+}
+
+// Reconstruct recovers the k original data shares from any k distinct
+// shares. Supplying duplicates, out-of-range indexes, or mismatched lengths
+// returns an error. The returned slices alias the input for data shares that
+// were received directly and are freshly allocated otherwise.
+func (c *Code) Reconstruct(shares []Share) ([][]byte, error) {
+	// Deduplicate, preferring data shares (cheapest decode path).
+	have := make(map[int][]byte, len(shares))
+	size := -1
+	for _, s := range shares {
+		if s.Index < 0 || s.Index >= c.k+c.m {
+			return nil, fmt.Errorf("fec: share index %d out of range [0,%d)", s.Index, c.k+c.m)
+		}
+		if size == -1 {
+			size = len(s.Data)
+		} else if len(s.Data) != size {
+			return nil, fmt.Errorf("fec: share %d has length %d, want %d", s.Index, len(s.Data), size)
+		}
+		if _, dup := have[s.Index]; !dup {
+			have[s.Index] = s.Data
+		}
+	}
+	if len(have) < c.k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrNotEnoughShares, len(have), c.k)
+	}
+
+	out := make([][]byte, c.k)
+	missing := make([]int, 0, c.m)
+	for i := 0; i < c.k; i++ {
+		if d, ok := have[i]; ok {
+			out[i] = d
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	// Build a k×k decode matrix from the generator rows of k available
+	// shares (all present data shares plus enough parity shares).
+	rows := make([]int, 0, c.k)
+	for i := 0; i < c.k; i++ {
+		if _, ok := have[i]; ok {
+			rows = append(rows, i)
+		}
+	}
+	for i := c.k; i < c.k+c.m && len(rows) < c.k; i++ {
+		if _, ok := have[i]; ok {
+			rows = append(rows, i)
+		}
+	}
+	dec := gf256.NewMatrix(c.k, c.k)
+	for r, idx := range rows {
+		dec.SetRow(r, c.gen.Row(idx))
+	}
+	inv, err := dec.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("fec: decode matrix: %w", err)
+	}
+	// data[j] = Σ_r inv[j][r] * share(rows[r]); only missing j are computed.
+	for _, j := range missing {
+		buf := make([]byte, size)
+		for r, idx := range rows {
+			gf256.MulSlice(inv.At(j, r), have[idx], buf)
+		}
+		out[j] = buf
+	}
+	return out, nil
+}

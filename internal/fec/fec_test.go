@@ -1,0 +1,326 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeData(t testing.TB, k, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func shares(code *Code, data, parity [][]byte, indexes ...int) []Share {
+	var out []Share
+	for _, i := range indexes {
+		if i < code.DataShares() {
+			out = append(out, Share{Index: i, Data: data[i]})
+		} else {
+			out = append(out, Share{Index: i, Data: parity[i-code.DataShares()]})
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		k, m int
+		ok   bool
+	}{
+		{"paper parameters", PaperDataShares, PaperParityShares, true},
+		{"zero parity", 10, 0, true},
+		{"zero data", 0, 5, false},
+		{"negative parity", 10, -1, false},
+		{"at field limit", 200, 55, true},
+		{"over field limit", 200, 56, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.k, tt.m)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(%d, %d) error = %v, want ok=%v", tt.k, tt.m, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0, 0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestEncodeIsSystematic(t *testing.T) {
+	// The generator's top block is the identity, so data shares pass
+	// through unmodified: reconstructing from all data shares must return
+	// the very same slices.
+	code := MustNew(5, 3)
+	data := makeData(t, 5, 64, 1)
+	if _, err := code.Encode(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := code.Reconstruct(shares(code, data, nil, 0, 1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if &got[i][0] != &data[i][0] {
+			t.Fatalf("data share %d was copied, want aliased passthrough", i)
+		}
+	}
+}
+
+func TestRoundTripAllParityPatterns(t *testing.T) {
+	// Drop every possible subset of 3 shares from a (5,3) code and verify
+	// reconstruction from the remaining 5.
+	code := MustNew(5, 3)
+	data := makeData(t, 5, 128, 2)
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := code.TotalShares()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				var idx []int
+				for i := 0; i < n; i++ {
+					if i != a && i != b && i != c {
+						idx = append(idx, i)
+					}
+				}
+				got, err := code.Reconstruct(shares(code, data, parity, idx...))
+				if err != nil {
+					t.Fatalf("drop {%d,%d,%d}: %v", a, b, c, err)
+				}
+				for i := range data {
+					if !bytes.Equal(got[i], data[i]) {
+						t.Fatalf("drop {%d,%d,%d}: share %d mismatch", a, b, c, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	// The paper's exact configuration: 101 data + 9 parity, loss of any 9
+	// packets is recoverable.
+	code := MustNew(PaperDataShares, PaperParityShares)
+	data := makeData(t, PaperDataShares, 1316, 3)
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(code.TotalShares())
+	kept := perm[:PaperDataShares] // drop 9 random shares
+	got, err := code.Reconstruct(shares(code, data, parity, kept...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("data share %d not recovered", i)
+		}
+	}
+}
+
+func TestReconstructInsufficientShares(t *testing.T) {
+	code := MustNew(4, 2)
+	data := makeData(t, 4, 32, 4)
+	parity, _ := code.Encode(data)
+	_, err := code.Reconstruct(shares(code, data, parity, 0, 1, 5))
+	if !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("error = %v, want ErrNotEnoughShares", err)
+	}
+}
+
+func TestReconstructDuplicatesDontCount(t *testing.T) {
+	code := MustNew(3, 2)
+	data := makeData(t, 3, 32, 5)
+	parity, _ := code.Encode(data)
+	dup := []Share{
+		{Index: 0, Data: data[0]},
+		{Index: 0, Data: data[0]},
+		{Index: 4, Data: parity[1]},
+	}
+	if _, err := code.Reconstruct(dup); !errors.Is(err, ErrNotEnoughShares) {
+		t.Fatalf("error = %v, want ErrNotEnoughShares for duplicate shares", err)
+	}
+}
+
+func TestReconstructBadIndex(t *testing.T) {
+	code := MustNew(3, 2)
+	if _, err := code.Reconstruct([]Share{{Index: 5, Data: []byte{1}}}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := code.Reconstruct([]Share{{Index: -1, Data: []byte{1}}}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestReconstructMismatchedLengths(t *testing.T) {
+	code := MustNew(2, 1)
+	bad := []Share{
+		{Index: 0, Data: []byte{1, 2}},
+		{Index: 1, Data: []byte{1, 2, 3}},
+	}
+	if _, err := code.Reconstruct(bad); err == nil {
+		t.Fatal("mismatched share lengths accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	code := MustNew(3, 2)
+	if _, err := code.Encode(makeData(t, 2, 8, 6)); err == nil {
+		t.Fatal("wrong share count accepted")
+	}
+	uneven := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 9)}
+	if _, err := code.Encode(uneven); err == nil {
+		t.Fatal("uneven share lengths accepted")
+	}
+}
+
+func TestZeroParityCode(t *testing.T) {
+	code := MustNew(4, 0)
+	data := makeData(t, 4, 16, 8)
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != 0 {
+		t.Fatalf("zero-parity code produced %d parity shares", len(parity))
+	}
+	got, err := code.Reconstruct(shares(code, data, nil, 0, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatal("round trip failed for zero-parity code")
+		}
+	}
+}
+
+func TestEmptyPayloads(t *testing.T) {
+	code := MustNew(3, 2)
+	data := [][]byte{{}, {}, {}}
+	parity, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := code.Reconstruct(shares(code, data, parity, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatal("empty-payload reconstruct failed")
+	}
+}
+
+// Property: for random (k, m), payloads and loss patterns with at most m
+// losses, reconstruction recovers the original data exactly.
+func TestReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(20)
+		m := rng.Intn(10)
+		code := MustNew(k, m)
+		size := 1 + rng.Intn(256)
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		parity, err := code.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Keep a random k-subset of the k+m shares.
+		perm := rng.Perm(k + m)
+		got, err := code.Reconstruct(shares(code, data, parity, perm[:k]...))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parity is deterministic — encoding the same data twice yields
+// identical parity, and different data yields different parity somewhere.
+func TestEncodeDeterministicProperty(t *testing.T) {
+	code := MustNew(6, 3)
+	f := func(seed int64) bool {
+		data := makeData(t, 6, 64, seed)
+		p1, err1 := code.Encode(data)
+		p2, err2 := code.Encode(data)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range p1 {
+			if !bytes.Equal(p1[i], p2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodePaperWindow(b *testing.B) {
+	code := MustNew(PaperDataShares, PaperParityShares)
+	data := makeData(b, PaperDataShares, 1316, 1)
+	b.SetBytes(int64(PaperDataShares * 1316))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructPaperWindowWorstCase(b *testing.B) {
+	code := MustNew(PaperDataShares, PaperParityShares)
+	data := makeData(b, PaperDataShares, 1316, 1)
+	parity, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drop 9 data shares — the most expensive decode.
+	var idx []int
+	for i := 9; i < code.TotalShares(); i++ {
+		idx = append(idx, i)
+	}
+	in := shares(code, data, parity, idx...)
+	b.SetBytes(int64(PaperDataShares * 1316))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Reconstruct(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

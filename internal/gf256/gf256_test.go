@@ -1,0 +1,300 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x99 {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want 0x99", Add(0x53, 0xCA))
+	}
+	if Add(7, 7) != 0 {
+		t.Fatal("x + x must be 0 in GF(2^8)")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0xAB, 0xAB},
+		{2, 2, 4},
+		{2, 0x80, 0x1d}, // wraps: 0x100 reduced by 0x11d
+		{0xFF, 0xFF, 0xe2},
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulMatchesSchoolbook(t *testing.T) {
+	// Carry-less multiply + reduction, the definitional implementation.
+	slow := func(a, b byte) byte {
+		var prod int
+		ai := int(a)
+		for bi := int(b); bi > 0; bi >>= 1 {
+			if bi&1 != 0 {
+				prod ^= ai
+			}
+			ai <<= 1
+			if ai&0x100 != 0 {
+				ai ^= poly
+			}
+		}
+		return byte(prod)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(a, Mul(b, c)) != Mul(Mul(a, b), c) {
+			return false
+		}
+		// Distributivity over XOR.
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			p := Mul(byte(a), byte(b))
+			if got := Div(p, byte(b)); got != byte(a) {
+				t.Fatalf("Div(Mul(%d,%d), %d) = %d, want %d", a, b, b, got, a)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a = %d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpCyclic(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatal("Exp(0) != 1")
+	}
+	if Exp(255) != 1 {
+		t.Fatal("generator order must be 255")
+	}
+	if Exp(256) != 2 || Exp(-1) != Exp(254) {
+		t.Fatal("Exp must reduce modulo 255")
+	}
+	// Generator 2 is primitive: powers 0..254 hit every nonzero element.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator hit %d distinct elements, want 255", len(seen))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := []byte{10, 20, 30, 40, 50}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = Add(dst[i], Mul(7, src[i]))
+	}
+	MulSlice(7, src, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulSlice dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulSliceSpecialCoefficients(t *testing.T) {
+	src := []byte{9, 8, 7}
+	dst := []byte{1, 2, 3}
+	MulSlice(0, src, dst)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatal("MulSlice with c=0 modified dst")
+	}
+	MulSlice(1, src, dst)
+	if dst[0] != 8 || dst[1] != 10 || dst[2] != 4 {
+		t.Fatalf("MulSlice with c=1 = %v, want XOR %v", dst, []byte{8, 10, 4})
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulSlice(1, []byte{1}, []byte{1, 2})
+}
+
+func TestScaleSlice(t *testing.T) {
+	s := []byte{1, 2, 3}
+	ScaleSlice(1, s)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatal("ScaleSlice by 1 changed the slice")
+	}
+	ScaleSlice(2, s)
+	if s[0] != 2 || s[1] != 4 || s[2] != 6 {
+		t.Fatalf("ScaleSlice by 2 = %v", s)
+	}
+	ScaleSlice(0, s)
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("ScaleSlice by 0 did not zero the slice")
+		}
+	}
+}
+
+func TestMatrixIdentityMul(t *testing.T) {
+	m := Vandermonde(4, 4)
+	id := Identity(4)
+	p := m.Mul(id)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if p.At(r, c) != m.At(r, c) {
+				t.Fatal("M × I != M")
+			}
+		}
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	m := Vandermonde(5, 5)
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	p := m.Mul(inv)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if p.At(r, c) != want {
+				t.Fatalf("M × M⁻¹ at (%d,%d) = %d, want %d", r, c, p.At(r, c), want)
+			}
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1) // third row all zero → singular
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("inverting singular matrix did not return error")
+	}
+}
+
+func TestMatrixInvertNonSquare(t *testing.T) {
+	if _, err := Vandermonde(3, 2).Invert(); err == nil {
+		t.Fatal("inverting non-square matrix did not return error")
+	}
+}
+
+func TestMatrixInvertDoesNotModifyReceiver(t *testing.T) {
+	m := Vandermonde(4, 4)
+	orig := m.Clone()
+	if _, err := m.Invert(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if m.At(r, c) != orig.At(r, c) {
+				t.Fatal("Invert modified its receiver")
+			}
+		}
+	}
+}
+
+// Property: every square submatrix of a Vandermonde matrix built from
+// distinct rows is invertible — this is what guarantees any-k-of-n recovery.
+func TestVandermondeSubmatrixInvertible(t *testing.T) {
+	f := func(rowSeed uint32) bool {
+		const k, n = 4, 12
+		// Pick 4 distinct rows of an n×k Vandermonde using the seed.
+		full := Vandermonde(n, k)
+		rows := pickDistinct(rowSeed, n, k)
+		sub := NewMatrix(k, k)
+		for i, r := range rows {
+			sub.SetRow(i, full.Row(r))
+		}
+		_, err := sub.Invert()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pickDistinct deterministically selects count distinct values in [0, n).
+func pickDistinct(seed uint32, n, count int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := seed
+	for i := n - 1; i > 0; i-- {
+		state = state*1664525 + 1013904223
+		j := int(state) % (i + 1)
+		if j < 0 {
+			j += i + 1
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:count]
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	src := make([]byte, 1316)
+	dst := make([]byte, 1316)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulSlice(byte(i%255+1), src, dst)
+	}
+}

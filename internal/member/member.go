@@ -1,0 +1,142 @@
+// Package member implements gossip partner selection — Algorithm 1's
+// selectNodes — together with the two proactiveness knobs of the paper's §3:
+//
+//   - X, the view refresh rate: the output of selectNodes changes every X
+//     calls. X = 1 re-randomizes partners every gossip round (the classic
+//     theoretical model); X = Never keeps the initial random partners
+//     forever, degenerating into a static mesh.
+//   - Y, the feed-me rate: every Y rounds a node asks f random nodes to
+//     insert it into their partner sets; each recipient replaces one random
+//     current partner with the requester.
+//
+// Selection is uniform over the full membership. The paper assumes global
+// knowledge of the node set and no repair: crashed nodes are never removed
+// from views. Package member therefore never learns about failures.
+package member
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gossipstream/internal/wire"
+)
+
+// Never disables a rate knob: a refresh rate of Never means partners are
+// drawn once and kept forever (the paper's X = ∞); a feed rate of Never
+// disables feed-me messages (Y = ∞).
+const Never = 0
+
+// Sampler provides uniform random node samples. It abstracts the membership
+// substrate: FullView samples from global knowledge (the paper's model),
+// while partial-view protocols (internal/pss) can stand in for it.
+type Sampler interface {
+	// Sample returns up to k distinct random node ids, never including the
+	// local node.
+	Sample(k int) []wire.NodeID
+}
+
+// FullView is a Sampler over static global membership [0, n) minus self.
+type FullView struct {
+	self wire.NodeID
+	all  []wire.NodeID
+	rng  *rand.Rand
+}
+
+// NewFullView returns a full-membership sampler for a system of n nodes.
+func NewFullView(self wire.NodeID, n int, rng *rand.Rand) *FullView {
+	if n <= 0 {
+		panic(fmt.Sprintf("member: system size %d", n))
+	}
+	all := make([]wire.NodeID, 0, n-1)
+	for i := 0; i < n; i++ {
+		if wire.NodeID(i) != self {
+			all = append(all, wire.NodeID(i))
+		}
+	}
+	return &FullView{self: self, all: all, rng: rng}
+}
+
+// Sample implements Sampler with a partial Fisher–Yates shuffle.
+func (v *FullView) Sample(k int) []wire.NodeID {
+	if k > len(v.all) {
+		k = len(v.all)
+	}
+	if k <= 0 {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		j := i + v.rng.Intn(len(v.all)-i)
+		v.all[i], v.all[j] = v.all[j], v.all[i]
+	}
+	out := make([]wire.NodeID, k)
+	copy(out, v.all[:k])
+	return out
+}
+
+// View yields the communication partners for each gossip round, applying
+// the refresh-rate knob X and feed-me insertions.
+type View struct {
+	sampler  Sampler
+	fanout   int
+	refresh  int // X; Never = keep forever
+	calls    int
+	partners []wire.NodeID
+	rng      *rand.Rand
+}
+
+// NewView returns a View selecting fanout partners through sampler,
+// re-drawing them every refreshEvery calls (X). refreshEvery = Never keeps
+// the first draw forever.
+func NewView(sampler Sampler, fanout, refreshEvery int, rng *rand.Rand) *View {
+	if fanout <= 0 {
+		panic(fmt.Sprintf("member: fanout %d", fanout))
+	}
+	if refreshEvery < 0 {
+		panic(fmt.Sprintf("member: refresh rate %d", refreshEvery))
+	}
+	return &View{sampler: sampler, fanout: fanout, refresh: refreshEvery, rng: rng}
+}
+
+// Partners returns this round's communication partners, advancing the
+// refresh schedule by one call. The returned slice is owned by the View;
+// callers must not retain it across rounds.
+func (v *View) Partners() []wire.NodeID {
+	needRefresh := v.partners == nil
+	if v.refresh != Never && v.calls%v.refresh == 0 {
+		needRefresh = true
+	}
+	v.calls++
+	if needRefresh {
+		v.partners = v.sampler.Sample(v.fanout)
+	}
+	return v.partners
+}
+
+// Current returns the partner set without advancing the refresh schedule
+// (drawing it first if no round has run yet).
+func (v *View) Current() []wire.NodeID {
+	if v.partners == nil {
+		v.partners = v.sampler.Sample(v.fanout)
+	}
+	return v.partners
+}
+
+// Insert handles a feed-me request: requester replaces one uniformly random
+// current partner. If the requester is already a partner nothing changes.
+// This is the receiving half of knob Y.
+func (v *View) Insert(requester wire.NodeID) {
+	cur := v.Current()
+	if len(cur) == 0 {
+		v.partners = []wire.NodeID{requester}
+		return
+	}
+	for _, p := range cur {
+		if p == requester {
+			return
+		}
+	}
+	cur[v.rng.Intn(len(cur))] = requester
+}
+
+// Calls reports how many rounds have consulted this view.
+func (v *View) Calls() int { return v.calls }

@@ -1,0 +1,244 @@
+package member
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipstream/internal/wire"
+)
+
+func TestFullViewExcludesSelf(t *testing.T) {
+	v := NewFullView(3, 10, rand.New(rand.NewSource(1)))
+	for trial := 0; trial < 100; trial++ {
+		for _, id := range v.Sample(9) {
+			if id == 3 {
+				t.Fatal("Sample returned self")
+			}
+		}
+	}
+}
+
+func TestFullViewSampleDistinct(t *testing.T) {
+	v := NewFullView(0, 50, rand.New(rand.NewSource(2)))
+	for trial := 0; trial < 100; trial++ {
+		got := v.Sample(10)
+		if len(got) != 10 {
+			t.Fatalf("Sample(10) returned %d ids", len(got))
+		}
+		seen := make(map[wire.NodeID]bool)
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("duplicate id %d in sample", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestFullViewSampleClampsToPopulation(t *testing.T) {
+	v := NewFullView(0, 5, rand.New(rand.NewSource(3)))
+	if got := v.Sample(100); len(got) != 4 {
+		t.Fatalf("Sample(100) of 4 peers returned %d", len(got))
+	}
+	if got := v.Sample(0); got != nil {
+		t.Fatalf("Sample(0) = %v, want nil", got)
+	}
+}
+
+func TestFullViewUniformity(t *testing.T) {
+	// Chi-square-ish sanity check: over many samples every peer should be
+	// picked a similar number of times.
+	const n, k, trials = 21, 5, 4000
+	v := NewFullView(20, n, rand.New(rand.NewSource(4)))
+	counts := make(map[wire.NodeID]int)
+	for i := 0; i < trials; i++ {
+		for _, id := range v.Sample(k) {
+			counts[id]++
+		}
+	}
+	want := float64(trials*k) / float64(n-1) // = 1000
+	for id, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("node %d selected %d times, want ≈%.0f (non-uniform)", id, c, want)
+		}
+	}
+}
+
+func TestFullViewInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFullView(0 nodes) did not panic")
+		}
+	}()
+	NewFullView(0, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestViewRefreshEveryCall(t *testing.T) {
+	// X = 1: partner sets should change essentially every round.
+	rng := rand.New(rand.NewSource(5))
+	v := NewView(NewFullView(0, 200, rng), 7, 1, rng)
+	changes := 0
+	prev := append([]wire.NodeID(nil), v.Partners()...)
+	for i := 0; i < 50; i++ {
+		cur := v.Partners()
+		if !sameSet(prev, cur) {
+			changes++
+		}
+		prev = append(prev[:0], cur...)
+	}
+	if changes < 45 {
+		t.Fatalf("X=1 changed partners only %d/50 rounds", changes)
+	}
+}
+
+func TestViewRefreshEveryX(t *testing.T) {
+	// X = 5: partners must be stable within each 5-call window and change
+	// across windows (with overwhelming probability for n=200).
+	rng := rand.New(rand.NewSource(6))
+	v := NewView(NewFullView(0, 200, rng), 7, 5, rng)
+	var windows [][]wire.NodeID
+	for w := 0; w < 4; w++ {
+		first := append([]wire.NodeID(nil), v.Partners()...)
+		for c := 1; c < 5; c++ {
+			if !sameSet(first, v.Partners()) {
+				t.Fatalf("partners changed within window %d call %d (X=5)", w, c)
+			}
+		}
+		windows = append(windows, first)
+	}
+	if sameSet(windows[0], windows[1]) && sameSet(windows[1], windows[2]) {
+		t.Fatal("partners never changed across X=5 windows")
+	}
+}
+
+func TestViewNeverRefreshes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := NewView(NewFullView(0, 200, rng), 7, Never, rng)
+	first := append([]wire.NodeID(nil), v.Partners()...)
+	for i := 0; i < 100; i++ {
+		if !sameSet(first, v.Partners()) {
+			t.Fatal("X=Never view changed partners")
+		}
+	}
+	if v.Calls() != 101 {
+		t.Fatalf("Calls() = %d, want 101", v.Calls())
+	}
+}
+
+func TestViewCurrentDoesNotAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := NewView(NewFullView(0, 50, rng), 3, 1, rng)
+	cur := append([]wire.NodeID(nil), v.Current()...)
+	if !sameSet(cur, v.Current()) {
+		t.Fatal("Current() changed the partner set")
+	}
+	if v.Calls() != 0 {
+		t.Fatalf("Current() advanced Calls to %d", v.Calls())
+	}
+}
+
+func TestViewInsertReplacesOnePartner(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := NewView(NewFullView(0, 100, rng), 5, Never, rng)
+	before := append([]wire.NodeID(nil), v.Current()...)
+	requester := wire.NodeID(99)
+	for contains(before, requester) {
+		t.Skip("unlucky draw included requester") // deterministic seed: never happens
+	}
+	v.Insert(requester)
+	after := v.Current()
+	if !contains(after, requester) {
+		t.Fatal("Insert did not add requester")
+	}
+	if len(after) != len(before) {
+		t.Fatalf("Insert changed view size %d → %d", len(before), len(after))
+	}
+	diff := 0
+	for _, id := range before {
+		if !contains(after, id) {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Insert replaced %d partners, want exactly 1", diff)
+	}
+}
+
+func TestViewInsertIdempotentForExistingPartner(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	v := NewView(NewFullView(0, 10, rng), 5, Never, rng)
+	before := append([]wire.NodeID(nil), v.Current()...)
+	v.Insert(before[2])
+	if !sameSet(before, v.Current()) {
+		t.Fatal("inserting an existing partner changed the view")
+	}
+}
+
+func TestViewPanicsOnBadParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewFullView(0, 10, rng)
+	for _, tc := range []struct {
+		name            string
+		fanout, refresh int
+	}{
+		{"zero fanout", 0, 1},
+		{"negative refresh", 3, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			NewView(s, tc.fanout, tc.refresh, rng)
+		})
+	}
+}
+
+// Property: under any X ≥ 1, the partner set changes only at call indexes
+// that are multiples of X.
+func TestViewRefreshScheduleProperty(t *testing.T) {
+	f := func(xRaw uint8, seed int64) bool {
+		x := int(xRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := NewView(NewFullView(0, 300, rng), 6, x, rng)
+		prev := append([]wire.NodeID(nil), v.Partners()...)
+		for call := 1; call < 40; call++ {
+			cur := v.Partners()
+			if call%x != 0 && !sameSet(prev, cur) {
+				return false // changed mid-window
+			}
+			prev = append(prev[:0], cur...)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameSet(a, b []wire.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[wire.NodeID]bool, len(a))
+	for _, id := range a {
+		m[id] = true
+	}
+	for _, id := range b {
+		if !m[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s []wire.NodeID, id wire.NodeID) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+// Package pss is a Cyclon-style peer sampling service: an optional,
+// partial-view membership substrate for the gossip streaming protocol.
+//
+// The paper assumes global membership knowledge — selectNodes draws
+// uniformly from the set of all nodes (Algorithm 1, line 26). Deployed
+// systems rarely have that luxury; they run a membership gossip layer
+// ([5] in the paper) whose partial views approximate uniform sampling.
+// This package provides such a layer so the streaming protocol can be
+// evaluated over realistic membership (the membership ablation in
+// bench_test.go compares the two).
+//
+// Protocol (Cyclon, simplified): each node keeps a bounded view of aged
+// node descriptors. Periodically it removes its oldest descriptor, sends
+// that node a sample of its view plus a fresh self-descriptor, and merges
+// the sample the target returns. Descriptor ages let stale entries (and
+// crashed nodes) rotate out.
+//
+// The simplification relative to full Cyclon: merged views keep the
+// youngest descriptors rather than performing slot-for-slot swaps. The
+// resulting in-degree distribution stays balanced enough for uniform-ish
+// sampling, which is all the streaming layer needs.
+package pss
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gossipstream/internal/member"
+	"gossipstream/internal/wire"
+)
+
+// Config parameterizes the sampling service.
+type Config struct {
+	// ViewSize bounds the partial view (classic Cyclon uses 20–50).
+	ViewSize int
+	// ShuffleLen is the number of descriptors exchanged per shuffle.
+	ShuffleLen int
+	// Period is the shuffle interval.
+	Period time.Duration
+}
+
+// DefaultConfig returns a conventional Cyclon parameterization.
+func DefaultConfig() Config {
+	return Config{ViewSize: 20, ShuffleLen: 8, Period: time.Second}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.ViewSize <= 0:
+		return fmt.Errorf("pss: ViewSize = %d, want > 0", c.ViewSize)
+	case c.ShuffleLen <= 0 || c.ShuffleLen > c.ViewSize:
+		return fmt.Errorf("pss: ShuffleLen = %d, want in [1, ViewSize=%d]", c.ShuffleLen, c.ViewSize)
+	case c.Period <= 0:
+		return fmt.Errorf("pss: Period = %v, want > 0", c.Period)
+	}
+	return nil
+}
+
+// Env is the environment the service runs in — a subset of core.Env, so
+// both drivers satisfy it.
+type Env interface {
+	ID() wire.NodeID
+	Send(to wire.NodeID, msg wire.Message)
+	After(d time.Duration, fn func()) (cancel func())
+	Rand() *rand.Rand
+}
+
+// Node is one peer-sampling participant. Not safe for concurrent use; the
+// driver serializes handler calls, as with the streaming engine.
+type Node struct {
+	env  Env
+	cfg  Config
+	view []wire.ShuffleEntry
+
+	running    bool
+	cancelTick func()
+
+	shufflesSent     int
+	shufflesAnswered int
+}
+
+// New creates a node seeded with bootstrap descriptors (age 0). At least
+// one bootstrap entry is required to join the overlay; the common pattern
+// seeds each node with a few random peers.
+func New(env Env, cfg Config, bootstrap []wire.NodeID) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{env: env, cfg: cfg}
+	for _, id := range bootstrap {
+		if id != env.ID() {
+			n.insert(wire.ShuffleEntry{ID: id})
+		}
+	}
+	return n, nil
+}
+
+// Start begins periodic shuffling, de-phased by a random offset.
+func (n *Node) Start() {
+	if n.running {
+		return
+	}
+	n.running = true
+	offset := time.Duration(n.env.Rand().Int63n(int64(n.cfg.Period)))
+	n.cancelTick = n.env.After(offset, n.tick)
+}
+
+// Stop halts shuffling. In-flight replies are still merged.
+func (n *Node) Stop() {
+	n.running = false
+	if n.cancelTick != nil {
+		n.cancelTick()
+		n.cancelTick = nil
+	}
+}
+
+// View returns a copy of the current view.
+func (n *Node) View() []wire.ShuffleEntry {
+	out := make([]wire.ShuffleEntry, len(n.view))
+	copy(out, n.view)
+	return out
+}
+
+// ShufflesSent reports initiated shuffles (metrics).
+func (n *Node) ShufflesSent() int { return n.shufflesSent }
+
+// Sample implements member.Sampler over the partial view: up to k distinct
+// ids drawn uniformly from the view.
+func (n *Node) Sample(k int) []wire.NodeID {
+	if k > len(n.view) {
+		k = len(n.view)
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := n.env.Rand()
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(n.view)-i)
+		n.view[i], n.view[j] = n.view[j], n.view[i]
+	}
+	out := make([]wire.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = n.view[i].ID
+	}
+	return out
+}
+
+var _ member.Sampler = (*Node)(nil)
+
+// tick runs one shuffle round.
+func (n *Node) tick() {
+	if !n.running {
+		return
+	}
+	n.cancelTick = n.env.After(n.cfg.Period, n.tick)
+	if len(n.view) == 0 {
+		return
+	}
+	for i := range n.view {
+		if n.view[i].Age < 1<<16-1 {
+			n.view[i].Age++
+		}
+	}
+	// Pick the oldest descriptor as shuffle target and drop it: if the
+	// target is dead the descriptor is gone; if alive it will come back
+	// fresh via its own shuffles.
+	oldest := 0
+	for i, e := range n.view {
+		if e.Age > n.view[oldest].Age {
+			oldest = i
+		}
+	}
+	target := n.view[oldest].ID
+	n.view[oldest] = n.view[len(n.view)-1]
+	n.view = n.view[:len(n.view)-1]
+
+	sample := n.sampleEntries(n.cfg.ShuffleLen - 1)
+	sample = append(sample, wire.ShuffleEntry{ID: n.env.ID(), Age: 0})
+	n.env.Send(target, wire.Shuffle{Entries: sample})
+	n.shufflesSent++
+}
+
+// HandleMessage processes shuffle traffic. Non-shuffle messages are
+// ignored so the node can sit behind the same dispatcher as the engine.
+func (n *Node) HandleMessage(from wire.NodeID, msg wire.Message) {
+	sh, ok := msg.(wire.Shuffle)
+	if !ok || !n.running {
+		return
+	}
+	if !sh.Reply {
+		reply := n.sampleEntries(n.cfg.ShuffleLen)
+		n.env.Send(from, wire.Shuffle{Reply: true, Entries: reply})
+		n.shufflesAnswered++
+	}
+	for _, e := range sh.Entries {
+		if e.ID != n.env.ID() {
+			n.insert(e)
+		}
+	}
+}
+
+// sampleEntries returns up to k copies of random view entries.
+func (n *Node) sampleEntries(k int) []wire.ShuffleEntry {
+	if k > len(n.view) {
+		k = len(n.view)
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := n.env.Rand()
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(n.view)-i)
+		n.view[i], n.view[j] = n.view[j], n.view[i]
+	}
+	out := make([]wire.ShuffleEntry, k)
+	copy(out, n.view[:k])
+	return out
+}
+
+// insert merges one descriptor: duplicates keep the younger age; overflow
+// evicts the oldest entry if the newcomer is younger.
+func (n *Node) insert(e wire.ShuffleEntry) {
+	for i := range n.view {
+		if n.view[i].ID == e.ID {
+			if e.Age < n.view[i].Age {
+				n.view[i].Age = e.Age
+			}
+			return
+		}
+	}
+	if len(n.view) < n.cfg.ViewSize {
+		n.view = append(n.view, e)
+		return
+	}
+	oldest := 0
+	for i := range n.view {
+		if n.view[i].Age > n.view[oldest].Age {
+			oldest = i
+		}
+	}
+	if n.view[oldest].Age > e.Age {
+		n.view[oldest] = e
+	}
+}

@@ -1,0 +1,316 @@
+package pss
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gossipstream/internal/sim"
+	"gossipstream/internal/wire"
+)
+
+// bus delivers shuffle messages between pss nodes with a fixed delay.
+type bus struct {
+	sched *sim.Scheduler
+	nodes map[wire.NodeID]*Node
+	sent  int
+}
+
+type busEnv struct {
+	id  wire.NodeID
+	bus *bus
+	rng *rand.Rand
+}
+
+func (e *busEnv) ID() wire.NodeID { return e.id }
+func (e *busEnv) Send(to wire.NodeID, msg wire.Message) {
+	e.bus.sent++
+	e.bus.sched.After(5*time.Millisecond, func() {
+		if n, ok := e.bus.nodes[to]; ok {
+			n.HandleMessage(e.id, msg)
+		}
+	})
+}
+func (e *busEnv) After(d time.Duration, fn func()) func() {
+	ev := e.bus.sched.After(d, fn)
+	return func() { e.bus.sched.Cancel(ev) }
+}
+func (e *busEnv) Rand() *rand.Rand { return e.rng }
+
+// overlay builds n pss nodes bootstrapped in a ring (each knows the next 2).
+func overlay(t *testing.T, n int, cfg Config) (*sim.Scheduler, *bus, []*Node) {
+	t.Helper()
+	sched := sim.New(5)
+	b := &bus{sched: sched, nodes: make(map[wire.NodeID]*Node)}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		env := &busEnv{id: wire.NodeID(i), bus: b, rng: rand.New(rand.NewSource(int64(i + 1)))}
+		boot := []wire.NodeID{wire.NodeID((i + 1) % n), wire.NodeID((i + 2) % n)}
+		node, err := New(env, cfg, boot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		b.nodes[wire.NodeID(i)] = node
+	}
+	return sched, b, nodes
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default valid", func(c *Config) {}, true},
+		{"zero view", func(c *Config) { c.ViewSize = 0 }, false},
+		{"zero shuffle", func(c *Config) { c.ShuffleLen = 0 }, false},
+		{"shuffle exceeds view", func(c *Config) { c.ShuffleLen = c.ViewSize + 1 }, false},
+		{"zero period", func(c *Config) { c.Period = 0 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestBootstrapExcludesSelf(t *testing.T) {
+	sched := sim.New(1)
+	b := &bus{sched: sched, nodes: make(map[wire.NodeID]*Node)}
+	env := &busEnv{id: 3, bus: b, rng: rand.New(rand.NewSource(1))}
+	n, err := New(env, DefaultConfig(), []wire.NodeID{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range n.View() {
+		if e.ID == 3 {
+			t.Fatal("bootstrap included self")
+		}
+	}
+	if len(n.View()) != 2 {
+		t.Fatalf("view = %d entries, want 2", len(n.View()))
+	}
+}
+
+func TestViewBounded(t *testing.T) {
+	cfg := Config{ViewSize: 4, ShuffleLen: 2, Period: 100 * time.Millisecond}
+	sched, _, nodes := overlay(t, 30, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(30 * time.Second)
+	for i, n := range nodes {
+		if got := len(n.View()); got > cfg.ViewSize {
+			t.Fatalf("node %d view has %d entries, bound is %d", i, got, cfg.ViewSize)
+		}
+	}
+}
+
+func TestViewsDiversifyBeyondBootstrap(t *testing.T) {
+	cfg := Config{ViewSize: 8, ShuffleLen: 4, Period: 100 * time.Millisecond}
+	sched, _, nodes := overlay(t, 40, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(60 * time.Second)
+	// After a minute of shuffling each node must know peers well beyond
+	// its two ring successors.
+	for i, n := range nodes {
+		beyond := 0
+		for _, e := range n.View() {
+			d := (int(e.ID) - i + 40) % 40
+			if d > 2 {
+				beyond++
+			}
+		}
+		if beyond < 3 {
+			t.Fatalf("node %d still ring-bound: view %v", i, n.View())
+		}
+	}
+}
+
+func TestNoSelfOrDuplicateDescriptors(t *testing.T) {
+	cfg := Config{ViewSize: 6, ShuffleLen: 3, Period: 100 * time.Millisecond}
+	sched, _, nodes := overlay(t, 25, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(30 * time.Second)
+	for i, n := range nodes {
+		seen := make(map[wire.NodeID]bool)
+		for _, e := range n.View() {
+			if e.ID == wire.NodeID(i) {
+				t.Fatalf("node %d has itself in view", i)
+			}
+			if seen[e.ID] {
+				t.Fatalf("node %d has duplicate descriptor %d", i, e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+}
+
+func TestInDegreeBalanced(t *testing.T) {
+	cfg := Config{ViewSize: 8, ShuffleLen: 4, Period: 100 * time.Millisecond}
+	sched, _, nodes := overlay(t, 40, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(60 * time.Second)
+	indeg := make(map[wire.NodeID]int)
+	for _, n := range nodes {
+		for _, e := range n.View() {
+			indeg[e.ID]++
+		}
+	}
+	// Mean in-degree = total view entries / n ≈ 8. No node should be
+	// starved (<1) or wildly popular (>4× mean).
+	for id, d := range indeg {
+		if d > 32 {
+			t.Fatalf("node %d has in-degree %d (mean ≈8)", id, d)
+		}
+	}
+	if len(indeg) < 35 {
+		t.Fatalf("only %d of 40 nodes appear in any view", len(indeg))
+	}
+}
+
+func TestSampleUniformish(t *testing.T) {
+	cfg := Config{ViewSize: 10, ShuffleLen: 5, Period: 100 * time.Millisecond}
+	sched, _, nodes := overlay(t, 30, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(60 * time.Second)
+	// Sampling repeatedly from node 0 over further shuffles should reach
+	// many distinct peers.
+	reached := make(map[wire.NodeID]bool)
+	for round := 0; round < 200; round++ {
+		sched.RunUntil(sched.Now() + 500*time.Millisecond)
+		for _, id := range nodes[0].Sample(3) {
+			reached[id] = true
+		}
+	}
+	if len(reached) < 20 {
+		t.Fatalf("sampling from a partial view reached only %d/29 peers", len(reached))
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	sched := sim.New(2)
+	b := &bus{sched: sched, nodes: make(map[wire.NodeID]*Node)}
+	env := &busEnv{id: 0, bus: b, rng: rand.New(rand.NewSource(1))}
+	n, err := New(env, DefaultConfig(), []wire.NodeID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Sample(10); len(got) != 2 {
+		t.Fatalf("Sample(10) of a 2-entry view returned %d", len(got))
+	}
+	if got := n.Sample(0); got != nil {
+		t.Fatalf("Sample(0) = %v", got)
+	}
+}
+
+func TestDeadNodesAgeOut(t *testing.T) {
+	cfg := Config{ViewSize: 6, ShuffleLen: 3, Period: 100 * time.Millisecond}
+	sched, b, nodes := overlay(t, 20, cfg)
+	for _, n := range nodes {
+		n.Start()
+	}
+	sched.RunUntil(20 * time.Second)
+	// Kill node 7: remove it from the bus and stop it. Its descriptors
+	// must eventually vanish from all views (they age, get picked as
+	// oldest, and are dropped without refresh).
+	nodes[7].Stop()
+	delete(b.nodes, 7)
+	sched.RunUntil(sched.Now() + 120*time.Second)
+	holders := 0
+	for i, n := range nodes {
+		if i == 7 {
+			continue
+		}
+		for _, e := range n.View() {
+			if e.ID == 7 {
+				holders++
+			}
+		}
+	}
+	if holders > 2 {
+		t.Fatalf("dead node still present in %d views after 2 minutes", holders)
+	}
+}
+
+func TestStoppedNodeSilent(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, b, nodes := overlay(t, 5, cfg)
+	nodes[0].Start()
+	nodes[0].Stop()
+	before := b.sent
+	sched.RunUntil(10 * time.Second)
+	if b.sent != before {
+		t.Fatal("stopped node kept shuffling")
+	}
+	// Handler is inert when stopped.
+	nodes[0].HandleMessage(1, wire.Shuffle{Entries: []wire.ShuffleEntry{{ID: 4}}})
+	if b.sent != before {
+		t.Fatal("stopped node replied to a shuffle")
+	}
+}
+
+func TestShuffleRequestGetsReply(t *testing.T) {
+	cfg := DefaultConfig()
+	_, b, nodes := overlay(t, 3, cfg)
+	nodes[1].Start()
+	nodes[1].HandleMessage(0, wire.Shuffle{Entries: []wire.ShuffleEntry{{ID: 2, Age: 1}}})
+	if b.sent != 1 {
+		t.Fatalf("request produced %d messages, want 1 reply", b.sent)
+	}
+	// The received descriptor must be merged immediately (later shuffles
+	// may legitimately rotate it out again, so don't run the scheduler).
+	found := false
+	for _, e := range nodes[1].View() {
+		if e.ID == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shuffle entries not merged")
+	}
+}
+
+func TestInsertKeepsYoungerAge(t *testing.T) {
+	sched := sim.New(3)
+	b := &bus{sched: sched, nodes: make(map[wire.NodeID]*Node)}
+	env := &busEnv{id: 0, bus: b, rng: rand.New(rand.NewSource(1))}
+	n, err := New(env, DefaultConfig(), []wire.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.running = true
+	n.HandleMessage(1, wire.Shuffle{Reply: true, Entries: []wire.ShuffleEntry{{ID: 1, Age: 9}}})
+	if n.View()[0].Age != 0 {
+		t.Fatal("older duplicate overwrote younger age")
+	}
+	n.view[0].Age = 9
+	n.HandleMessage(1, wire.Shuffle{Reply: true, Entries: []wire.ShuffleEntry{{ID: 1, Age: 2}}})
+	if n.View()[0].Age != 2 {
+		t.Fatal("younger duplicate did not refresh age")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	sched := sim.New(4)
+	b := &bus{sched: sched, nodes: make(map[wire.NodeID]*Node)}
+	env := &busEnv{id: 0, bus: b, rng: rand.New(rand.NewSource(1))}
+	bad := DefaultConfig()
+	bad.ViewSize = 0
+	if _, err := New(env, bad, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"gossipstream/internal/core"
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/shaping"
+	"gossipstream/internal/stream"
+	wirepkg "gossipstream/internal/wire"
+)
+
+// fastLayout is a small, fast stream for real-time tests: 5 windows of
+// 8+2 packets at 400 kbps → ≈2 s of stream.
+func fastLayout() stream.Layout {
+	return stream.Layout{
+		RateBps:         400_000,
+		PayloadBytes:    1200,
+		DataPerWindow:   8,
+		ParityPerWindow: 2,
+		Windows:         5,
+	}
+}
+
+func fastCore() core.Config {
+	// Fanout 5 keeps the probability of an infect-and-die wave missing a
+	// node negligible at the 8-node test scale (the paper's ln(n)+c rule).
+	cfg := core.DefaultConfig()
+	cfg.Fanout = 5
+	cfg.SourceFanout = 5
+	cfg.GossipPeriod = 40 * time.Millisecond
+	cfg.RetPeriod = 300 * time.Millisecond
+	return cfg
+}
+
+func TestClusterStreamsOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	layout := fastLayout()
+	cluster, err := NewCluster(8, fastCore(), layout, shaping.Unlimited, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(layout.Duration() + 20*time.Second)
+	for time.Now().Before(deadline) {
+		if allComplete(cluster, layout) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for i, n := range cluster.Nodes {
+		q := metrics.Evaluate(n.Receiver(), layout)
+		if frac := q.CompleteFraction(metrics.InfiniteLag); frac < 1 {
+			t.Errorf("node %d completed %.0f%% of windows over real UDP", i, frac*100)
+		}
+	}
+}
+
+func allComplete(c *Cluster, layout stream.Layout) bool {
+	for _, n := range c.Nodes {
+		if n.Receiver().Delivered() < layout.TotalPackets() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterPacedUpload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	// Capped nodes must still deliver, just slower; this exercises the
+	// token-bucket path.
+	layout := stream.Layout{
+		RateBps:         200_000,
+		PayloadBytes:    1000,
+		DataPerWindow:   6,
+		ParityPerWindow: 1,
+		Windows:         3,
+	}
+	cluster, err := NewCluster(5, fastCore(), layout, 2_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if err := cluster.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(layout.Duration() + 20*time.Second)
+	for time.Now().Before(deadline) && !allComplete(cluster, layout) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	for i, n := range cluster.Nodes {
+		if got := n.Receiver().Delivered(); got < layout.TotalPackets()*9/10 {
+			t.Errorf("node %d delivered %d/%d packets with paced upload", i, got, layout.TotalPackets())
+		}
+	}
+}
+
+func TestNodeLifecycleErrors(t *testing.T) {
+	layout := fastLayout()
+	node, err := New(Config{ID: 1, Core: fastCore(), Layout: layout}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	if err := node.Start(); err == nil {
+		t.Fatal("Start succeeded with no peers registered")
+	}
+	node.AddPeer(2, node.Addr()) // self-loop is fine for the test
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err == nil {
+		t.Fatal("double Start did not error")
+	}
+}
+
+func TestNodeStopIdempotent(t *testing.T) {
+	node, err := New(Config{ID: 1, Core: fastCore(), Layout: fastLayout()}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.AddPeer(2, node.Addr())
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.Stop()
+	node.Stop() // must not panic or deadlock
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := fastCore()
+	bad.Fanout = 0
+	if _, err := New(Config{ID: 1, Core: bad, Layout: fastLayout()}, "127.0.0.1:0", nil); err == nil {
+		t.Fatal("invalid core config accepted")
+	}
+	if _, err := New(Config{ID: 1, Core: fastCore(), Layout: fastLayout()}, "not-an-addr:xx", nil); err == nil {
+		t.Fatal("invalid bind address accepted")
+	}
+}
+
+func TestClusterRejectsTooFewNodes(t *testing.T) {
+	if _, err := NewCluster(1, fastCore(), fastLayout(), 0, 1); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}
+
+func TestDirSamplerExcludesUnknownAndIsUniform(t *testing.T) {
+	node, err := New(Config{ID: 0, Core: fastCore(), Layout: fastLayout()}, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	addr := node.Addr()
+	for i := 1; i <= 10; i++ {
+		node.AddPeer(wirepkg.NodeID(5+i), addr)
+	}
+	s := &dirSampler{node: node}
+	counts := make(map[int]int)
+	for trial := 0; trial < 2000; trial++ {
+		got := s.Sample(3)
+		if len(got) != 3 {
+			t.Fatalf("Sample(3) returned %d", len(got))
+		}
+		seen := make(map[int]bool)
+		for _, id := range got {
+			if id < 6 || id > 15 {
+				t.Fatalf("sampled unknown id %d", id)
+			}
+			if seen[int(id)] {
+				t.Fatal("duplicate in sample")
+			}
+			seen[int(id)] = true
+			counts[int(id)]++
+		}
+	}
+	want := 2000.0 * 3 / 10
+	for id, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("id %d sampled %d times, want ≈%.0f", id, c, want)
+		}
+	}
+	if got := s.Sample(100); len(got) != 10 {
+		t.Fatalf("oversized sample returned %d ids, want all 10", len(got))
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Scheduler owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which — together
+// with a seeded random source — makes every simulation run fully
+// reproducible. The kernel is single-threaded by design: all node logic in a
+// simulated experiment executes inside event callbacks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by scheduling methods so the
+// caller can cancel it before it fires.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 once popped or cancelled
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Scheduler is a discrete-event scheduler with a virtual clock starting at 0.
+// The zero value is not usable; construct with New.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Scheduler whose random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. It must only be
+// used from event callbacks (or before Run), never concurrently.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled and not yet fired or
+// cancelled.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in the caller.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.fn = nil
+}
+
+// Stop makes Run and RunUntil return after the currently executing event
+// callback completes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop is
+// called.
+func (s *Scheduler) Run() {
+	s.RunUntil(1<<63 - 1)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the queue emptied earlier, the clock still ends at
+// deadline unless it is the sentinel maximum).
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		next.index = -1
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		s.fired++
+		fn()
+	}
+	if deadline != 1<<63-1 && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// eventQueue implements container/heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

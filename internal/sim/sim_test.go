@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (same-instant events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestSchedulerAfter(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.After(50*time.Millisecond, func() {
+		at = s.Now()
+		s.After(25*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 75*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 75ms", at)
+	}
+}
+
+func TestSchedulerAfterNegativeClampsToNow(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	if e := s.queue[0]; e.at != 0 {
+		t.Fatalf("negative After scheduled at %v, want 0", e.at)
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event never fired")
+	}
+}
+
+func TestSchedulerAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(500*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", s.Pending())
+	}
+}
+
+func TestSchedulerCancelIdempotent(t *testing.T) {
+	s := New(1)
+	e := s.At(time.Second, func() {})
+	s.Cancel(e)
+	s.Cancel(e) // must not panic
+	s.Cancel(nil)
+	s.Run()
+}
+
+func TestSchedulerCancelFromCallback(t *testing.T) {
+	s := New(1)
+	fired := false
+	var e *Event
+	s.At(10*time.Millisecond, func() { s.Cancel(e) })
+	e = s.At(20*time.Millisecond, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
+	s := New(1)
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(time.Duration(i)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	for i := 5; i < 15; i++ {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+	for _, v := range got {
+		if v >= 5 && v < 15 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.At(d, func() { got = append(got, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(25ms) fired %d events, want 2", len(got))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Fatalf("clock = %v after RunUntil, want 25ms", s.Now())
+	}
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("resumed run fired %d total, want 4", len(got))
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop at 3, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", s.Pending())
+	}
+	s.Run() // resumes
+	if count != 10 {
+		t.Fatalf("fired %d events total after resume, want 10", count)
+	}
+}
+
+func TestSchedulerDeterministicRand(t *testing.T) {
+	draw := func(seed int64) []int64 {
+		s := New(seed)
+		var vals []int64
+		for i := 0; i < 16; i++ {
+			vals = append(vals, s.Rand().Int63())
+		}
+		return vals
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random streams")
+	}
+}
+
+func TestSchedulerFiredCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", s.Fired())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and every non-cancelled event fires exactly once.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	f := func(delaysMS []uint16, seed int64) bool {
+		if len(delaysMS) > 512 {
+			delaysMS = delaysMS[:512]
+		}
+		s := New(seed)
+		var fired []time.Duration
+		for _, d := range delaysMS {
+			d := time.Duration(d) * time.Millisecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestSchedulerCancelProperty(t *testing.T) {
+	f := func(n uint8, mask uint64, seed int64) bool {
+		count := int(n%64) + 1
+		s := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		firedSet := make(map[int]bool)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = s.At(time.Duration(rng.Intn(1000))*time.Millisecond, func() { firedSet[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := 0; i < count; i++ {
+			if firedSet[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%64 == 63 {
+			s.RunUntil(s.Now() + 500*time.Microsecond)
+		}
+	}
+	s.Run()
+}

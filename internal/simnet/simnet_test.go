@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"gossipstream/internal/shaping"
+	"gossipstream/internal/sim"
+	"gossipstream/internal/stream"
+	"gossipstream/internal/wire"
+)
+
+// recorder is a Handler that records deliveries.
+type recorder struct {
+	sched *sim.Scheduler
+	from  []NodeID
+	msgs  []wire.Message
+	times []time.Duration
+}
+
+func (r *recorder) HandleMessage(from NodeID, msg wire.Message) {
+	r.from = append(r.from, from)
+	r.msgs = append(r.msgs, msg)
+	r.times = append(r.times, r.sched.Now())
+}
+
+// quietConfig removes all randomness so delays are exactly computable.
+func quietConfig() Config {
+	return Config{
+		LossRate:          0,
+		BaseLatencyMedian: 40 * time.Millisecond,
+		BaseLatencySigma:  0,
+		JitterFrac:        0,
+	}
+}
+
+func newPair(t *testing.T, cfg Config, upBps int64) (*sim.Scheduler, *Network, NodeID, NodeID, *recorder) {
+	t.Helper()
+	sched := sim.New(1)
+	net := New(sched, cfg)
+	rec := &recorder{sched: sched}
+	a := net.AddNode(&recorder{sched: sched}, upBps, 1<<20)
+	b := net.AddNode(rec, shaping.Unlimited, 0)
+	return sched, net, a, b, rec
+}
+
+func TestSendDelivers(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	msg := wire.Propose{IDs: []stream.PacketID{1, 2, 3}}
+	net.Send(a, b, msg)
+	sched.Run()
+	if len(rec.msgs) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(rec.msgs))
+	}
+	if rec.from[0] != a {
+		t.Fatalf("from = %d, want %d", rec.from[0], a)
+	}
+	// Unlimited uplink: delivery exactly at base latency (40ms both nodes).
+	if rec.times[0] != 40*time.Millisecond {
+		t.Fatalf("delivered at %v, want 40ms", rec.times[0])
+	}
+	got := rec.msgs[0].(wire.Propose)
+	if len(got.IDs) != 3 {
+		t.Fatalf("payload corrupted: %v", got.IDs)
+	}
+}
+
+func TestSendShapedDelay(t *testing.T) {
+	// 800 kbps uplink: a propose of 3 ids costs 7+12 = 19 application
+	// bytes against the cap (IP/UDP overhead is not charged — the paper's
+	// limiter throttles application bytes) → 190 µs serialization, then
+	// 40 ms propagation.
+	sched, net, a, b, rec := newPair(t, quietConfig(), 800_000)
+	net.Send(a, b, wire.Propose{IDs: []stream.PacketID{1, 2, 3}})
+	sched.Run()
+	want := 190*time.Microsecond + 40*time.Millisecond
+	if rec.times[0] != want {
+		t.Fatalf("delivered at %v, want %v", rec.times[0], want)
+	}
+}
+
+func TestSendQueueingIsFIFO(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), 100_000)
+	for i := 0; i < 5; i++ {
+		net.Send(a, b, wire.Request{IDs: []stream.PacketID{stream.PacketID(i)}})
+	}
+	sched.Run()
+	if len(rec.msgs) != 5 {
+		t.Fatalf("delivered %d, want 5", len(rec.msgs))
+	}
+	for i := range rec.msgs {
+		if got := rec.msgs[i].(wire.Request).IDs[0]; got != stream.PacketID(i) {
+			t.Fatalf("message %d carries id %d, want FIFO order", i, got)
+		}
+		if i > 0 && rec.times[i] <= rec.times[i-1] {
+			t.Fatal("shaped messages delivered without spacing")
+		}
+	}
+}
+
+func TestCongestionDrop(t *testing.T) {
+	sched := sim.New(1)
+	net := New(sched, quietConfig())
+	rec := &recorder{sched: sched}
+	a := net.AddNode(&recorder{sched: sched}, 100_000, 100) // tiny queue
+	b := net.AddNode(rec, shaping.Unlimited, 0)
+	for i := 0; i < 10; i++ {
+		net.Send(a, b, wire.Serve{Packets: []*stream.Packet{{ID: 1, Payload: make([]byte, 500)}}})
+	}
+	sched.Run()
+	st := net.NodeStats(a)
+	if st.CongestionDrops == 0 {
+		t.Fatal("no congestion drops on overloaded tiny queue")
+	}
+	if int(st.SentMsgs[wire.KindServe])+int(st.CongestionDrops) != 10 {
+		t.Fatalf("sent %d + dropped %d != 10", st.SentMsgs[wire.KindServe], st.CongestionDrops)
+	}
+	if len(rec.msgs) != int(st.SentMsgs[wire.KindServe]) {
+		t.Fatalf("delivered %d, accepted %d", len(rec.msgs), st.SentMsgs[wire.KindServe])
+	}
+}
+
+func TestRandomLossStatistics(t *testing.T) {
+	cfg := quietConfig()
+	cfg.LossRate = 0.3
+	sched := sim.New(42)
+	net := New(sched, cfg)
+	rec := &recorder{sched: sched}
+	a := net.AddNode(&recorder{sched: sched}, shaping.Unlimited, 0)
+	b := net.AddNode(rec, shaping.Unlimited, 0)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		net.Send(a, b, wire.FeedMe{})
+	}
+	sched.Run()
+	got := len(rec.msgs)
+	// Expect ≈ 1400 delivered; allow generous tolerance.
+	if got < total*6/10 || got > total*8/10 {
+		t.Fatalf("delivered %d of %d at 30%% loss, want ≈70%%", got, total)
+	}
+	if int(net.NodeStats(a).RandomDrops) != total-got {
+		t.Fatalf("RandomDrops = %d, want %d", net.NodeStats(a).RandomDrops, total-got)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	net.Send(a, b, wire.FeedMe{})
+	net.Crash(b)
+	net.Send(a, b, wire.FeedMe{})
+	sched.Run()
+	if len(rec.msgs) != 0 {
+		t.Fatalf("crashed node received %d messages", len(rec.msgs))
+	}
+	if net.Alive(b) {
+		t.Fatal("Alive(b) after crash")
+	}
+	if net.NodeStats(a).DeadDrops != 2 {
+		t.Fatalf("DeadDrops = %d, want 2 (both were in flight when b died)", net.NodeStats(a).DeadDrops)
+	}
+}
+
+func TestCrashedSenderSilent(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	net.Crash(a)
+	net.Send(a, b, wire.FeedMe{})
+	sched.Run()
+	if len(rec.msgs) != 0 {
+		t.Fatal("crashed sender's message was delivered")
+	}
+	if net.NodeStats(a).TotalSentBytes() != 0 {
+		t.Fatal("crashed sender accounted bytes")
+	}
+}
+
+func TestInFlightFromCrashedSenderDropped(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	net.Send(a, b, wire.FeedMe{})
+	// Crash the sender before propagation completes: packet dies.
+	sched.After(10*time.Millisecond, func() { net.Crash(a) })
+	sched.Run()
+	if len(rec.msgs) != 0 {
+		t.Fatal("in-flight message from crashed sender delivered")
+	}
+}
+
+func TestLatencyHeterogeneity(t *testing.T) {
+	cfg := DefaultConfig()
+	sched := sim.New(7)
+	net := New(sched, cfg)
+	var min, max time.Duration
+	for i := 0; i < 100; i++ {
+		id := net.AddNode(&recorder{sched: sched}, shaping.Unlimited, 0)
+		l := net.BaseLatency(id)
+		if i == 0 || l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max < 2*min {
+		t.Fatalf("base latencies too homogeneous: min %v max %v", min, max)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	msg := wire.Propose{IDs: []stream.PacketID{1, 2}}
+	net.Send(a, b, msg)
+	sched.Run()
+	_ = rec
+	sa, sb := net.NodeStats(a), net.NodeStats(b)
+	// Byte counters track application bytes (what the limiter throttles).
+	want := uint64(msg.WireSize() - wire.UDPOverheadBytes)
+	if sa.SentBytes[wire.KindPropose] != want || sa.SentMsgs[wire.KindPropose] != 1 {
+		t.Fatalf("sender stats = %d bytes %d msgs, want %d 1", sa.SentBytes[wire.KindPropose], sa.SentMsgs[wire.KindPropose], want)
+	}
+	if sb.RecvBytes[wire.KindPropose] != want || sb.RecvMsgs[wire.KindPropose] != 1 {
+		t.Fatalf("receiver stats = %d bytes %d msgs, want %d 1", sb.RecvBytes[wire.KindPropose], sb.RecvMsgs[wire.KindPropose], want)
+	}
+	if sa.TotalSentBytes() != want || sb.TotalRecvBytes() != want {
+		t.Fatal("totals disagree with per-kind counters")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		sched := sim.New(99)
+		net := New(sched, DefaultConfig())
+		rec := &recorder{sched: sched}
+		a := net.AddNode(&recorder{sched: sched}, 700_000, 64*1024)
+		b := net.AddNode(rec, 700_000, 64*1024)
+		for i := 0; i < 50; i++ {
+			i := i
+			sched.At(time.Duration(i)*10*time.Millisecond, func() {
+				net.Send(a, b, wire.Request{IDs: []stream.PacketID{stream.PacketID(i)}})
+			})
+		}
+		sched.Run()
+		return rec.times
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatalf("replay delivered %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("replay diverged")
+		}
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	sched := sim.New(1)
+	net := New(sched, quietConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send to unknown node did not panic")
+		}
+	}()
+	net.Send(0, 1, wire.FeedMe{})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	sched := sim.New(1)
+	net := New(sched, quietConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddNode(nil) did not panic")
+		}
+	}()
+	net.AddNode(nil, 0, 0)
+}
+
+func TestUplinkBacklogVisible(t *testing.T) {
+	sched, net, a, b, _ := newPair(t, quietConfig(), 100_000)
+	net.Send(a, b, wire.Serve{Packets: []*stream.Packet{{ID: 1, Payload: make([]byte, 1250)}}})
+	if net.UplinkBacklog(a) == 0 {
+		t.Fatal("no backlog visible after shaped send")
+	}
+	sched.Run()
+	if net.UplinkBacklog(a) != 0 {
+		t.Fatal("backlog persists after drain")
+	}
+}
+
+func TestPairFactorDeterministicAndBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	sched := sim.New(3)
+	net := New(sched, cfg)
+	for i := 0; i < 50; i++ {
+		net.AddNode(&recorder{sched: sched}, shaping.Unlimited, 0)
+	}
+	for a := NodeID(0); a < 50; a += 7 {
+		for b := NodeID(1); b < 50; b += 11 {
+			f1 := net.pairFactor(a, b)
+			f2 := net.pairFactor(a, b)
+			if f1 != f2 {
+				t.Fatal("pair factor not deterministic")
+			}
+			if f1 < 1-cfg.PairSpread || f1 > 1+cfg.PairSpread {
+				t.Fatalf("pair factor %v outside [%v, %v]", f1, 1-cfg.PairSpread, 1+cfg.PairSpread)
+			}
+		}
+	}
+	// Factors must actually vary across pairs.
+	if net.pairFactor(1, 2) == net.pairFactor(3, 4) && net.pairFactor(5, 6) == net.pairFactor(7, 8) {
+		t.Fatal("pair factors suspiciously constant")
+	}
+}
+
+func TestShuffleTrafficAccounted(t *testing.T) {
+	sched, net, a, b, rec := newPair(t, quietConfig(), shaping.Unlimited)
+	msg := wire.Shuffle{Entries: []wire.ShuffleEntry{{ID: 3, Age: 1}}}
+	net.Send(a, b, msg)
+	sched.Run()
+	if len(rec.msgs) != 1 {
+		t.Fatalf("shuffle not delivered")
+	}
+	if got := net.NodeStats(a).SentMsgs[wire.KindShuffle]; got != 1 {
+		t.Fatalf("shuffle sends = %d, want 1", got)
+	}
+}

@@ -1,0 +1,411 @@
+// Package stream models the live video stream of the paper's evaluation:
+// a source emitting a constant-rate stream (600 kbps), packetized and
+// grouped into windows of 110 packets — 101 original packets plus 9
+// systematic FEC packets (paper §4, "Streaming Configuration").
+//
+// The package provides three pieces:
+//
+//   - Layout: the immutable geometry of a stream (rates, window shape, id
+//     mapping, publish schedule);
+//   - Source: produces the actual packets, parity included, in publish
+//     order;
+//   - Receiver: per-node window assembly that records when each window
+//     became viewable (≥ DataPerWindow distinct packets).
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gossipstream/internal/fec"
+)
+
+// PacketID identifies a packet globally: id = window*WindowTotal + index.
+type PacketID uint32
+
+// Packet is one stream packet. Packets are immutable after creation and in
+// simulation are shared by pointer across all nodes.
+type Packet struct {
+	ID      PacketID
+	Window  uint32
+	Index   uint16 // position within the window, parity at the tail
+	Parity  bool
+	Payload []byte
+}
+
+// Layout describes the geometry and timing of a stream. The zero value is
+// not valid; use DefaultLayout or fill all fields and call Validate.
+type Layout struct {
+	// RateBps is the stream bit rate (payload bits per second). The paper
+	// uses 600 kbps.
+	RateBps int64
+	// PayloadBytes is the payload carried by each packet.
+	PayloadBytes int
+	// DataPerWindow is the number of original packets per window (101).
+	DataPerWindow int
+	// ParityPerWindow is the number of FEC packets per window (9).
+	ParityPerWindow int
+	// Windows is the total number of windows in the stream.
+	Windows int
+}
+
+// DefaultLayout returns the paper's streaming configuration: 600 kbps,
+// windows of 101+9 packets, with the requested stream length in windows.
+func DefaultLayout(windows int) Layout {
+	return Layout{
+		RateBps:         600_000,
+		PayloadBytes:    1316,
+		DataPerWindow:   fec.PaperDataShares,
+		ParityPerWindow: fec.PaperParityShares,
+		Windows:         windows,
+	}
+}
+
+// Validate reports whether the layout is internally consistent.
+func (l Layout) Validate() error {
+	switch {
+	case l.RateBps <= 0:
+		return fmt.Errorf("stream: RateBps = %d, want > 0", l.RateBps)
+	case l.PayloadBytes <= 0:
+		return fmt.Errorf("stream: PayloadBytes = %d, want > 0", l.PayloadBytes)
+	case l.DataPerWindow <= 0:
+		return fmt.Errorf("stream: DataPerWindow = %d, want > 0", l.DataPerWindow)
+	case l.ParityPerWindow < 0:
+		return fmt.Errorf("stream: ParityPerWindow = %d, want >= 0", l.ParityPerWindow)
+	case l.DataPerWindow+l.ParityPerWindow > 255:
+		return fmt.Errorf("stream: window of %d shares exceeds GF(256) limit", l.DataPerWindow+l.ParityPerWindow)
+	case l.Windows <= 0:
+		return fmt.Errorf("stream: Windows = %d, want > 0", l.Windows)
+	}
+	return nil
+}
+
+// WindowTotal returns the number of packets per window, parity included.
+func (l Layout) WindowTotal() int { return l.DataPerWindow + l.ParityPerWindow }
+
+// TotalPackets returns the number of packets in the whole stream.
+func (l Layout) TotalPackets() int { return l.Windows * l.WindowTotal() }
+
+// PacketTime returns the wall-clock time one data packet represents at the
+// stream rate.
+func (l Layout) PacketTime() time.Duration {
+	return time.Duration(float64(l.PayloadBytes*8) / float64(l.RateBps) * float64(time.Second))
+}
+
+// Duration returns the playback duration of the stream.
+func (l Layout) Duration() time.Duration {
+	return time.Duration(l.Windows*l.DataPerWindow) * l.PacketTime()
+}
+
+// WindowOf returns the window a packet id belongs to.
+func (l Layout) WindowOf(id PacketID) int { return int(id) / l.WindowTotal() }
+
+// IndexOf returns the position of the packet within its window.
+func (l Layout) IndexOf(id PacketID) int { return int(id) % l.WindowTotal() }
+
+// IsParity reports whether id is one of the window's FEC packets.
+func (l Layout) IsParity(id PacketID) bool { return l.IndexOf(id) >= l.DataPerWindow }
+
+// IDFor returns the PacketID for a window and in-window index.
+func (l Layout) IDFor(window, index int) PacketID {
+	return PacketID(window*l.WindowTotal() + index)
+}
+
+// PublishTime returns the virtual time a packet becomes available at the
+// source. Data packet i of window w is published when its last payload byte
+// has been produced at the stream rate; a window's parity packets are
+// published together with its final data packet (the source can only encode
+// once the window is complete).
+func (l Layout) PublishTime(id PacketID) time.Duration {
+	w, idx := l.WindowOf(id), l.IndexOf(id)
+	dataIdx := idx
+	if idx >= l.DataPerWindow {
+		dataIdx = l.DataPerWindow - 1
+	}
+	streamPackets := w*l.DataPerWindow + dataIdx + 1
+	return time.Duration(streamPackets) * l.PacketTime()
+}
+
+// WindowPublishTime returns the publish time of the last packet of window
+// w — the reference point for measuring stream lag of that window.
+func (l Layout) WindowPublishTime(w int) time.Duration {
+	return l.PublishTime(l.IDFor(w, l.WindowTotal()-1))
+}
+
+// Source produces the packets of a stream in publish order. It is not safe
+// for concurrent use.
+type Source struct {
+	layout  Layout
+	code    *fec.Code
+	rng     *rand.Rand
+	next    int // next packet ordinal in publish order
+	order   []PacketID
+	packets map[PacketID]*Packet
+	window  [][]byte // payloads of the window under construction
+}
+
+// NewSource returns a Source for the layout; payload bytes are drawn from
+// the seeded generator so runs are reproducible and FEC decoding can be
+// verified end to end.
+func NewSource(layout Layout, seed int64) (*Source, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	var code *fec.Code
+	if layout.ParityPerWindow > 0 {
+		c, err := fec.New(layout.DataPerWindow, layout.ParityPerWindow)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		code = c
+	}
+	s := &Source{
+		layout:  layout,
+		code:    code,
+		rng:     rand.New(rand.NewSource(seed)),
+		packets: make(map[PacketID]*Packet, layout.TotalPackets()),
+	}
+	s.buildOrder()
+	return s, nil
+}
+
+// buildOrder precomputes the publish order: data packets of each window in
+// index order, then that window's parity packets.
+func (s *Source) buildOrder() {
+	l := s.layout
+	s.order = make([]PacketID, 0, l.TotalPackets())
+	for w := 0; w < l.Windows; w++ {
+		for i := 0; i < l.WindowTotal(); i++ {
+			s.order = append(s.order, l.IDFor(w, i))
+		}
+	}
+}
+
+// Layout returns the stream layout.
+func (s *Source) Layout() Layout { return s.layout }
+
+// PacketsUntil returns, in publish order, all packets published after the
+// previous call and no later than now. The returned pointers are shared and
+// must be treated as immutable.
+func (s *Source) PacketsUntil(now time.Duration) []*Packet {
+	var out []*Packet
+	for s.next < len(s.order) {
+		id := s.order[s.next]
+		if s.layout.PublishTime(id) > now {
+			break
+		}
+		out = append(out, s.materialize(id))
+		s.next++
+	}
+	return out
+}
+
+// Done reports whether every packet of the stream has been emitted.
+func (s *Source) Done() bool { return s.next >= len(s.order) }
+
+// Packet returns a previously published packet by id (nil if not yet
+// published). Sources retain all published packets so they can serve
+// retransmission requests.
+func (s *Source) Packet(id PacketID) *Packet { return s.packets[id] }
+
+// materialize creates the packet for id, generating payload bytes and, at
+// window boundaries, the FEC parity packets.
+func (s *Source) materialize(id PacketID) *Packet {
+	l := s.layout
+	w, idx := l.WindowOf(id), l.IndexOf(id)
+	if idx == 0 {
+		s.window = s.window[:0]
+	}
+	p := &Packet{
+		ID:     id,
+		Window: uint32(w),
+		Index:  uint16(idx),
+		Parity: idx >= l.DataPerWindow,
+	}
+	if !p.Parity {
+		payload := make([]byte, l.PayloadBytes)
+		s.rng.Read(payload)
+		p.Payload = payload
+		s.window = append(s.window, payload)
+		if idx == l.DataPerWindow-1 && s.code != nil {
+			parity, err := s.code.Encode(s.window)
+			if err != nil {
+				// Window shapes are validated at construction; an encode
+				// failure here is a programmer error.
+				panic(fmt.Sprintf("stream: window %d encode: %v", w, err))
+			}
+			for pi, pp := range parity {
+				pid := l.IDFor(w, l.DataPerWindow+pi)
+				s.packets[pid] = &Packet{
+					ID:      pid,
+					Window:  uint32(w),
+					Index:   uint16(l.DataPerWindow + pi),
+					Parity:  true,
+					Payload: pp,
+				}
+			}
+		}
+	} else {
+		// Parity packets were materialized alongside the window's last
+		// data packet; just look them up.
+		if pre := s.packets[id]; pre != nil {
+			return pre
+		}
+		// Parity disabled (ParityPerWindow == 0) never reaches here;
+		// guard anyway.
+		p.Payload = make([]byte, l.PayloadBytes)
+	}
+	s.packets[id] = p
+	return p
+}
+
+// Receiver assembles windows on a node and records viewability times. It
+// tracks packet identity only (counts and bitsets), not payloads; payload
+// reconstruction for real deployments lives in Reassembler.
+type Receiver struct {
+	layout    Layout
+	windows   []windowState
+	delivered int
+}
+
+type windowState struct {
+	seen      []uint64 // bitset over window indexes
+	count     int
+	completed time.Duration // time count reached DataPerWindow; 0 = never
+}
+
+// NewReceiver returns a Receiver for the layout.
+func NewReceiver(layout Layout) *Receiver {
+	words := (layout.WindowTotal() + 63) / 64
+	ws := make([]windowState, layout.Windows)
+	for i := range ws {
+		ws[i].seen = make([]uint64, words)
+	}
+	return &Receiver{layout: layout, windows: ws}
+}
+
+// Deliver records receipt of packet id at virtual time now. It returns true
+// if the packet is new (first delivery), false for duplicates or ids outside
+// the stream.
+func (r *Receiver) Deliver(id PacketID, now time.Duration) bool {
+	w := r.layout.WindowOf(id)
+	if w < 0 || w >= len(r.windows) {
+		return false
+	}
+	idx := r.layout.IndexOf(id)
+	ws := &r.windows[w]
+	word, bit := idx/64, uint(idx%64)
+	if ws.seen[word]&(1<<bit) != 0 {
+		return false
+	}
+	ws.seen[word] |= 1 << bit
+	ws.count++
+	r.delivered++
+	if ws.count == r.layout.DataPerWindow {
+		ws.completed = now
+	}
+	return true
+}
+
+// Has reports whether packet id has been delivered.
+func (r *Receiver) Has(id PacketID) bool {
+	w := r.layout.WindowOf(id)
+	if w < 0 || w >= len(r.windows) {
+		return false
+	}
+	idx := r.layout.IndexOf(id)
+	return r.windows[w].seen[idx/64]&(1<<uint(idx%64)) != 0
+}
+
+// Count returns the number of distinct packets received for window w.
+func (r *Receiver) Count(w int) int { return r.windows[w].count }
+
+// Delivered returns the total number of distinct packets received.
+func (r *Receiver) Delivered() int { return r.delivered }
+
+// CompletionTime returns the time window w became viewable (received its
+// DataPerWindow-th distinct packet) and whether it ever did.
+func (r *Receiver) CompletionTime(w int) (time.Duration, bool) {
+	ws := &r.windows[w]
+	if ws.count < r.layout.DataPerWindow {
+		return 0, false
+	}
+	return ws.completed, true
+}
+
+// Lag returns the stream lag of window w: completion time minus the window's
+// publish time. The second return is false if the window never completed.
+func (r *Receiver) Lag(w int) (time.Duration, bool) {
+	c, ok := r.CompletionTime(w)
+	if !ok {
+		return 0, false
+	}
+	lag := c - r.layout.WindowPublishTime(w)
+	if lag < 0 {
+		lag = 0
+	}
+	return lag, true
+}
+
+// Reassembler collects full packets (with payloads) and reconstructs window
+// payloads via FEC. It is used by the real-time deployment and by
+// end-to-end tests; the simulator uses the lighter Receiver.
+type Reassembler struct {
+	layout  Layout
+	code    *fec.Code
+	packets map[PacketID]*Packet
+}
+
+// NewReassembler returns a Reassembler for the layout.
+func NewReassembler(layout Layout) (*Reassembler, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	var code *fec.Code
+	if layout.ParityPerWindow > 0 {
+		c, err := fec.New(layout.DataPerWindow, layout.ParityPerWindow)
+		if err != nil {
+			return nil, err
+		}
+		code = c
+	}
+	return &Reassembler{layout: layout, code: code, packets: make(map[PacketID]*Packet)}, nil
+}
+
+// Add stores a received packet. Duplicates are ignored.
+func (a *Reassembler) Add(p *Packet) {
+	if _, ok := a.packets[p.ID]; !ok {
+		a.packets[p.ID] = p
+	}
+}
+
+// Reconstruct returns the original payloads of window w in index order,
+// decoding through FEC when data packets are missing.
+func (a *Reassembler) Reconstruct(w int) ([][]byte, error) {
+	l := a.layout
+	var got []fec.Share
+	for i := 0; i < l.WindowTotal(); i++ {
+		if p, ok := a.packets[l.IDFor(w, i)]; ok {
+			got = append(got, fec.Share{Index: i, Data: p.Payload})
+		}
+	}
+	if a.code == nil {
+		// No FEC: all data packets must be present.
+		if len(got) < l.DataPerWindow {
+			return nil, fmt.Errorf("stream: window %d has %d/%d packets and no FEC", w, len(got), l.DataPerWindow)
+		}
+		out := make([][]byte, l.DataPerWindow)
+		for _, s := range got {
+			if s.Index < l.DataPerWindow {
+				out[s.Index] = s.Data
+			}
+		}
+		return out, nil
+	}
+	data, err := a.code.Reconstruct(got)
+	if err != nil {
+		return nil, fmt.Errorf("stream: window %d: %w", w, err)
+	}
+	return data, nil
+}

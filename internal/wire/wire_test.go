@@ -1,0 +1,384 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gossipstream/internal/stream"
+)
+
+func testLayout() stream.Layout {
+	return stream.Layout{
+		RateBps:         600_000,
+		PayloadBytes:    1250,
+		DataPerWindow:   101,
+		ParityPerWindow: 9,
+		Windows:         100,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindPropose, "PROPOSE"},
+		{KindRequest, "REQUEST"},
+		{KindServe, "SERVE"},
+		{KindFeedMe, "FEED-ME"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	pkt := &stream.Packet{ID: 1, Payload: make([]byte, 1250)}
+	tests := []struct {
+		name string
+		msg  Message
+		want int
+	}{
+		{"empty propose", Propose{}, 28 + 7},
+		{"propose 12 ids", Propose{IDs: make([]stream.PacketID, 12)}, 28 + 7 + 48},
+		{"request 3 ids", Request{IDs: make([]stream.PacketID, 3)}, 28 + 7 + 12},
+		{"serve one packet", Serve{Packets: []*stream.Packet{pkt}}, 28 + 7 + 6 + 1250},
+		{"feed-me", FeedMe{}, 28 + 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.msg.WireSize(); got != tt.want {
+				t.Fatalf("WireSize() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodePropose(t *testing.T) {
+	c := NewCodec(testLayout())
+	in := Propose{IDs: []stream.PacketID{0, 1, 42, 1 << 30}}
+	buf, err := c.Encode(17, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != in.WireSize()-UDPOverheadBytes {
+		t.Fatalf("encoded %d bytes, want WireSize-overhead %d", len(buf), in.WireSize()-UDPOverheadBytes)
+	}
+	sender, out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 17 {
+		t.Fatalf("sender = %d, want 17", sender)
+	}
+	got, ok := out.(Propose)
+	if !ok {
+		t.Fatalf("decoded %T, want Propose", out)
+	}
+	if len(got.IDs) != len(in.IDs) {
+		t.Fatalf("decoded %d ids, want %d", len(got.IDs), len(in.IDs))
+	}
+	for i := range in.IDs {
+		if got.IDs[i] != in.IDs[i] {
+			t.Fatalf("id[%d] = %d, want %d", i, got.IDs[i], in.IDs[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRequest(t *testing.T) {
+	c := NewCodec(testLayout())
+	in := Request{IDs: []stream.PacketID{7}}
+	buf, err := c.Encode(3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(Request)
+	if !ok || got.IDs[0] != 7 {
+		t.Fatalf("decoded %#v, want Request{[7]}", out)
+	}
+}
+
+func TestEncodeDecodeServe(t *testing.T) {
+	l := testLayout()
+	c := NewCodec(l)
+	id := l.IDFor(3, 105) // a parity packet
+	in := Serve{Packets: []*stream.Packet{{
+		ID:      id,
+		Window:  3,
+		Index:   105,
+		Parity:  true,
+		Payload: bytes.Repeat([]byte{0xAB}, 600),
+	}}}
+	buf, err := c.Encode(9, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != in.WireSize()-UDPOverheadBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), in.WireSize()-UDPOverheadBytes)
+	}
+	sender, out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 9 {
+		t.Fatalf("sender = %d, want 9", sender)
+	}
+	got := out.(Serve)
+	p := got.Packets[0]
+	if p.ID != id || p.Window != 3 || p.Index != 105 || !p.Parity {
+		t.Fatalf("metadata not rebuilt from layout: %+v", p)
+	}
+	if !bytes.Equal(p.Payload, in.Packets[0].Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestEncodeDecodeFeedMe(t *testing.T) {
+	c := NewCodec(testLayout())
+	buf, err := c.Encode(255, FeedMe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, out, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(FeedMe); !ok || sender != 255 {
+		t.Fatalf("decoded %T from %d, want FeedMe from 255", out, sender)
+	}
+}
+
+func TestEncodeTooManyIDs(t *testing.T) {
+	c := NewCodec(testLayout())
+	if _, err := c.Encode(0, Propose{IDs: make([]stream.PacketID, MaxIDsPerMessage+1)}); err == nil {
+		t.Fatal("oversized propose accepted")
+	}
+}
+
+func TestEncodeServeOverMTU(t *testing.T) {
+	c := NewCodec(testLayout())
+	big := Serve{Packets: []*stream.Packet{
+		{ID: 1, Payload: make([]byte, 1250)},
+		{ID: 2, Payload: make([]byte, 1250)},
+	}}
+	if _, err := c.Encode(0, big); err == nil {
+		t.Fatal("over-MTU serve accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	c := NewCodec(testLayout())
+	buf, err := c.Encode(1, Propose{IDs: []stream.PacketID{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, len(buf) - 1} {
+		if _, _, err := c.Decode(buf[:n]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("Decode(%d bytes) error = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeTruncatedServePayload(t *testing.T) {
+	c := NewCodec(testLayout())
+	buf, err := c.Encode(1, Serve{Packets: []*stream.Packet{{ID: 5, Payload: make([]byte, 100)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Decode(buf[:len(buf)-10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	c := NewCodec(testLayout())
+	buf := make([]byte, headerBytes)
+	buf[0] = 200
+	if _, _, err := c.Decode(buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSplitIDs(t *testing.T) {
+	ids := make([]stream.PacketID, MaxIDsPerMessage*2+5)
+	for i := range ids {
+		ids[i] = stream.PacketID(i)
+	}
+	chunks := SplitIDs(ids)
+	if len(chunks) != 3 {
+		t.Fatalf("SplitIDs produced %d chunks, want 3", len(chunks))
+	}
+	total := 0
+	for _, ch := range chunks {
+		if len(ch) > MaxIDsPerMessage {
+			t.Fatalf("chunk of %d exceeds max %d", len(ch), MaxIDsPerMessage)
+		}
+		total += len(ch)
+	}
+	if total != len(ids) {
+		t.Fatalf("chunks total %d ids, want %d", total, len(ids))
+	}
+	// Small lists pass through as a single chunk without copying.
+	small := []stream.PacketID{1, 2}
+	if got := SplitIDs(small); len(got) != 1 || &got[0][0] != &small[0] {
+		t.Fatal("small list not passed through")
+	}
+}
+
+func TestSplitServe(t *testing.T) {
+	var packets []*stream.Packet
+	for i := 0; i < 5; i++ {
+		packets = append(packets, &stream.Packet{ID: stream.PacketID(i), Payload: make([]byte, 600)})
+	}
+	serves := SplitServe(packets)
+	total := 0
+	for _, s := range serves {
+		if s.WireSize()-UDPOverheadBytes > MTUBytes {
+			t.Fatalf("split serve still exceeds MTU: %d", s.WireSize())
+		}
+		total += len(s.Packets)
+	}
+	if total != len(packets) {
+		t.Fatalf("split serves carry %d packets, want %d", total, len(packets))
+	}
+	if len(serves) != 3 { // 2+2+1 at 600-byte payloads within 1472 MTU
+		t.Fatalf("got %d serves, want 3", len(serves))
+	}
+}
+
+func TestSplitServeEmpty(t *testing.T) {
+	if got := SplitServe(nil); got != nil {
+		t.Fatalf("SplitServe(nil) = %v, want nil", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary id lists exactly, and the
+// encoded size always equals WireSize minus UDP overhead.
+func TestCodecRoundTripProperty(t *testing.T) {
+	c := NewCodec(testLayout())
+	f := func(rawIDs []uint32, sender uint32, kindBit bool) bool {
+		if len(rawIDs) > MaxIDsPerMessage {
+			rawIDs = rawIDs[:MaxIDsPerMessage]
+		}
+		ids := make([]stream.PacketID, len(rawIDs))
+		for i, v := range rawIDs {
+			ids[i] = stream.PacketID(v)
+		}
+		var msg Message
+		if kindBit {
+			msg = Propose{IDs: ids}
+		} else {
+			msg = Request{IDs: ids}
+		}
+		buf, err := c.Encode(sender, msg)
+		if err != nil {
+			return false
+		}
+		if len(buf) != msg.WireSize()-UDPOverheadBytes {
+			return false
+		}
+		gotSender, out, err := c.Decode(buf)
+		if err != nil || gotSender != sender {
+			return false
+		}
+		var gotIDs []stream.PacketID
+		switch m := out.(type) {
+		case Propose:
+			if !kindBit {
+				return false
+			}
+			gotIDs = m.IDs
+		case Request:
+			if kindBit {
+				return false
+			}
+			gotIDs = m.IDs
+		default:
+			return false
+		}
+		if len(gotIDs) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if gotIDs[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serve round-trip preserves payload bytes for random payload
+// sizes that fit the MTU.
+func TestServeRoundTripProperty(t *testing.T) {
+	l := testLayout()
+	c := NewCodec(l)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		var packets []*stream.Packet
+		size := headerBytes
+		for i := 0; i < n; i++ {
+			plen := rng.Intn(400)
+			if size+packetHeaderBytes+plen > MTUBytes {
+				break
+			}
+			payload := make([]byte, plen)
+			rng.Read(payload)
+			id := stream.PacketID(rng.Intn(l.TotalPackets()))
+			packets = append(packets, &stream.Packet{ID: id, Payload: payload})
+			size += packetHeaderBytes + plen
+		}
+		if len(packets) == 0 {
+			return true
+		}
+		buf, err := c.Encode(1, Serve{Packets: packets})
+		if err != nil {
+			return false
+		}
+		_, out, err := c.Decode(buf)
+		if err != nil {
+			return false
+		}
+		got := out.(Serve)
+		if len(got.Packets) != len(packets) {
+			return false
+		}
+		for i := range packets {
+			if got.Packets[i].ID != packets[i].ID || !bytes.Equal(got.Packets[i].Payload, packets[i].Payload) {
+				return false
+			}
+			if got.Packets[i].Window != uint32(l.WindowOf(packets[i].ID)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeServe(b *testing.B) {
+	c := NewCodec(testLayout())
+	msg := Serve{Packets: []*stream.Packet{{ID: 1, Payload: make([]byte, 1250)}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(1, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
