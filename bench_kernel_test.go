@@ -1,0 +1,94 @@
+// Kernel microbenchmarks for the GF(256)/FEC hot path, alongside the
+// figure benchmarks so one `go test -bench=.` run shows both protocol-level
+// and codec-level throughput. The *Ref variants measure the retained
+// byte-at-a-time baseline; the speedup of the vectorized kernels is the
+// ratio between the pairs.
+package gossipstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"gossipstream/internal/fec"
+	"gossipstream/internal/gf256"
+)
+
+// paperPayload is the packet payload size of the paper's 600 kbps stream.
+const paperPayload = 1316
+
+func kernelWindow(b *testing.B, seed int64) (data [][]byte, parity [][]byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data = make([][]byte, fec.PaperDataShares)
+	for i := range data {
+		data[i] = make([]byte, paperPayload)
+		rng.Read(data[i])
+	}
+	parity = make([][]byte, fec.PaperParityShares)
+	for p := range parity {
+		parity[p] = make([]byte, paperPayload)
+	}
+	return data, parity
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	data, parity := kernelWindow(b, 1)
+	b.SetBytes(paperPayload)
+	for i := 0; i < b.N; i++ {
+		gf256.MulSlice(0xb7, data[0], parity[0])
+	}
+}
+
+func BenchmarkMulSliceRef(b *testing.B) {
+	data, parity := kernelWindow(b, 1)
+	b.SetBytes(paperPayload)
+	for i := 0; i < b.N; i++ {
+		gf256.MulSliceRef(0xb7, data[0], parity[0])
+	}
+}
+
+func BenchmarkFECEncode(b *testing.B) {
+	code := fec.MustNew(fec.PaperDataShares, fec.PaperParityShares)
+	data, parity := kernelWindow(b, 2)
+	b.SetBytes(int64(fec.PaperDataShares * paperPayload))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := code.EncodeInto(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFECReconstruct(b *testing.B) {
+	code := fec.MustNew(fec.PaperDataShares, fec.PaperParityShares)
+	data, parity := kernelWindow(b, 3)
+	if err := code.EncodeInto(data, parity); err != nil {
+		b.Fatal(err)
+	}
+	// Worst case: as many data packets lost as there is parity.
+	shares := make([]fec.Share, 0, fec.PaperTotalShares)
+	lost := make(map[int]bool, fec.PaperParityShares)
+	for i := 0; i < fec.PaperParityShares; i++ {
+		lost[i*11] = true
+	}
+	for i, d := range data {
+		if !lost[i] {
+			shares = append(shares, fec.Share{Index: i, Data: d})
+		}
+	}
+	for p, d := range parity {
+		shares = append(shares, fec.Share{Index: fec.PaperDataShares + p, Data: d})
+	}
+	out := make([][]byte, fec.PaperDataShares)
+	for i := range out {
+		out[i] = make([]byte, paperPayload)
+	}
+	b.SetBytes(int64(fec.PaperDataShares * paperPayload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.ReconstructInto(shares, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

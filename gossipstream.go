@@ -17,8 +17,8 @@
 //
 // This root package is the public face: it re-exports the configuration
 // and result types, the experiment runner, and one generator per figure of
-// the paper's evaluation. See EXPERIMENTS.md for measured-vs-paper numbers
-// and the examples/ directory for runnable programs.
+// the paper's evaluation. See README.md for build and run instructions and
+// the examples/ directory for runnable programs.
 package gossipstream
 
 import (

@@ -179,6 +179,12 @@ type Peer struct {
 	nextRetID   int
 	counters    Counters
 	layoutTotal int
+
+	// pubScratch and serveScratch are reused across rounds so the per-tick
+	// publish and serve paths do not allocate; they are cleared after use
+	// to avoid pinning packets.
+	pubScratch   []*stream.Packet
+	serveScratch []*stream.Packet
 }
 
 // NewPeer returns an ordinary (non-source) peer over the given sampler.
@@ -289,11 +295,14 @@ func (p *Peer) tick() {
 // publishNew delivers freshly produced stream packets locally (publish(e) in
 // Algorithm 1) and queues their ids for this round's gossip.
 func (p *Peer) publishNew() {
-	for _, pkt := range p.source.PacketsUntil(p.env.Now()) {
+	fresh := p.source.AppendPacketsUntil(p.pubScratch[:0], p.env.Now())
+	for _, pkt := range fresh {
 		p.recv.Deliver(pkt.ID, p.env.Now())
 		p.store[pkt.ID] = pkt
 		p.toPropose = append(p.toPropose, pkt.ID)
 	}
+	clear(fresh)
+	p.pubScratch = fresh[:0]
 }
 
 // sendFeedMe implements knob Y: ask Fanout fresh random nodes (independent
@@ -423,20 +432,21 @@ func (p *Peer) retransmit(proposer wire.NodeID, ids []stream.PacketID) {
 
 // handleRequest implements phase 3: serve the payloads we hold.
 func (p *Peer) handleRequest(from wire.NodeID, m wire.Request) {
-	var pkts []*stream.Packet
+	pkts := p.serveScratch[:0]
 	for _, id := range m.IDs {
 		if pkt := p.lookup(id); pkt != nil {
 			pkts = append(pkts, pkt)
 		}
 	}
-	if len(pkts) == 0 {
-		return
+	if len(pkts) > 0 {
+		for _, serve := range wire.SplitServe(pkts) {
+			p.env.Send(from, serve)
+			p.counters.ServesSent++
+			p.counters.PacketsServed += len(serve.Packets)
+		}
 	}
-	for _, serve := range wire.SplitServe(pkts) {
-		p.env.Send(from, serve)
-		p.counters.ServesSent++
-		p.counters.PacketsServed += len(serve.Packets)
-	}
+	clear(pkts)
+	p.serveScratch = pkts[:0]
 }
 
 // lookup fetches a packet from the local store (getEvent in Algorithm 1).

@@ -7,11 +7,19 @@
 // the generator matrix is a Vandermonde matrix row-reduced so its top k×k
 // block is the identity. Data shares are therefore transmitted verbatim and
 // decoding is only needed for windows with losses.
+//
+// Two API tiers are offered. Encode and Reconstruct allocate their outputs
+// and are convenient for one-shot use. EncodeInto and ReconstructInto write
+// into caller-owned buffers and allocate nothing in steady state: decode
+// scratch state is drawn from a sync.Pool and decode-matrix inversions are
+// cached per received-share index set, which repeats heavily under steady
+// loss patterns.
 package fec
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gossipstream/internal/gf256"
 )
@@ -26,6 +34,11 @@ const (
 	PaperTotalShares = PaperDataShares + PaperParityShares
 )
 
+// maxCachedInversions bounds the decode-matrix cache. Each entry is a k×k
+// matrix (~10 KiB for the paper's k=101); 1024 entries comfortably cover
+// the loss patterns of a steady-state run while bounding worst-case memory.
+const maxCachedInversions = 1024
+
 // ErrNotEnoughShares is returned by Reconstruct when fewer than k distinct
 // shares are supplied.
 var ErrNotEnoughShares = errors.New("fec: not enough shares to reconstruct")
@@ -36,6 +49,23 @@ type Code struct {
 	k, m int
 	// gen is the (k+m)×k generator matrix; its top k rows are the identity.
 	gen *gf256.Matrix
+
+	// scratch pools per-reconstruction working state so steady-state
+	// decoding allocates nothing.
+	scratch sync.Pool
+
+	// invMu guards invCache, mapping the byte string of the k row indexes
+	// used for decoding to the inverted decode matrix.
+	invMu    sync.RWMutex
+	invCache map[string]*gf256.Matrix
+}
+
+// decodeScratch is the reusable working state of one reconstruction.
+type decodeScratch struct {
+	have    [][]byte // share payload by index, nil when missing; len k+m
+	rowIdx  []byte   // indexes of the k shares used for decoding
+	rows    [][]byte // payloads of those shares, parallel to rowIdx
+	missing []int    // data share indexes to decode
 }
 
 // New constructs a systematic code with k data shares and m parity shares.
@@ -60,7 +90,15 @@ func New(k, m int) (*Code, error) {
 		// it anyway rather than panicking in library code.
 		return nil, fmt.Errorf("fec: generator construction: %w", err)
 	}
-	return &Code{k: k, m: m, gen: v.Mul(topInv)}, nil
+	c := &Code{k: k, m: m, gen: v.Mul(topInv), invCache: make(map[string]*gf256.Matrix)}
+	c.scratch.New = func() any {
+		return &decodeScratch{
+			have:   make([][]byte, k+m),
+			rowIdx: make([]byte, 0, k),
+			rows:   make([][]byte, 0, k),
+		}
+	}
+	return c, nil
 }
 
 // MustNew is New for parameters known to be valid at compile time.
@@ -81,29 +119,59 @@ func (c *Code) ParityShares() int { return c.m }
 // TotalShares returns k+m.
 func (c *Code) TotalShares() int { return c.k + c.m }
 
+// AllocShares returns n share buffers of size bytes each, carved from one
+// contiguous backing array — the allocation shape Encode and the *Into
+// callers use for window buffer sets.
+func AllocShares(n, size int) [][]byte {
+	arena := make([]byte, n*size)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = arena[i*size : (i+1)*size]
+	}
+	return out
+}
+
 // Encode computes the m parity shares for the given k data shares. All data
 // shares must have equal length. The returned parity slices are freshly
-// allocated.
+// allocated (from a single backing array); use EncodeInto to reuse buffers.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	if len(data) != c.k {
 		return nil, fmt.Errorf("fec: Encode got %d data shares, want %d", len(data), c.k)
 	}
+	parity := AllocShares(c.m, len(data[0]))
+	if err := c.EncodeInto(data, parity); err != nil {
+		return nil, err
+	}
+	return parity, nil
+}
+
+// EncodeInto computes the m parity shares of data into the caller-provided
+// parity buffers, which must be exactly m slices of the shares' common
+// length. It allocates nothing, so callers encoding a stream of windows can
+// cycle parity buffers through a pool instead of allocating per window.
+func (c *Code) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("fec: EncodeInto got %d data shares, want %d", len(data), c.k)
+	}
 	size := len(data[0])
 	for i, d := range data {
 		if len(d) != size {
-			return nil, fmt.Errorf("fec: share %d has length %d, want %d", i, len(d), size)
+			return fmt.Errorf("fec: share %d has length %d, want %d", i, len(d), size)
 		}
 	}
-	parity := make([][]byte, c.m)
-	for p := 0; p < c.m; p++ {
-		row := c.gen.Row(c.k + p)
-		out := make([]byte, size)
-		for j := 0; j < c.k; j++ {
-			gf256.MulSlice(row[j], data[j], out)
-		}
-		parity[p] = out
+	if len(parity) != c.m {
+		return fmt.Errorf("fec: EncodeInto got %d parity buffers, want %d", len(parity), c.m)
 	}
-	return parity, nil
+	for p, buf := range parity {
+		if len(buf) != size {
+			return fmt.Errorf("fec: parity buffer %d has length %d, want %d", p, len(buf), size)
+		}
+	}
+	for p, buf := range parity {
+		clear(buf)
+		gf256.MulAddSlices(c.gen.Row(c.k+p), data, buf)
+	}
+	return nil
 }
 
 // Share is one received share of a window: its index in [0, k+m) and its
@@ -113,72 +181,167 @@ type Share struct {
 	Data  []byte
 }
 
-// Reconstruct recovers the k original data shares from any k distinct
-// shares. Supplying duplicates, out-of-range indexes, or mismatched lengths
-// returns an error. The returned slices alias the input for data shares that
-// were received directly and are freshly allocated otherwise.
-func (c *Code) Reconstruct(shares []Share) ([][]byte, error) {
-	// Deduplicate, preferring data shares (cheapest decode path).
-	have := make(map[int][]byte, len(shares))
-	size := -1
+// gather validates shares and files them into sc.have by index,
+// deduplicating and recording which data shares are missing. It returns the
+// common share size.
+func (c *Code) gather(sc *decodeScratch, shares []Share) (int, error) {
+	clear(sc.have)
+	sc.rowIdx = sc.rowIdx[:0]
+	sc.rows = sc.rows[:0]
+	sc.missing = sc.missing[:0]
+	size, distinct := -1, 0
 	for _, s := range shares {
 		if s.Index < 0 || s.Index >= c.k+c.m {
-			return nil, fmt.Errorf("fec: share index %d out of range [0,%d)", s.Index, c.k+c.m)
+			return 0, fmt.Errorf("fec: share index %d out of range [0,%d)", s.Index, c.k+c.m)
 		}
 		if size == -1 {
 			size = len(s.Data)
 		} else if len(s.Data) != size {
-			return nil, fmt.Errorf("fec: share %d has length %d, want %d", s.Index, len(s.Data), size)
+			return 0, fmt.Errorf("fec: share %d has length %d, want %d", s.Index, len(s.Data), size)
 		}
-		if _, dup := have[s.Index]; !dup {
-			have[s.Index] = s.Data
+		if sc.have[s.Index] == nil {
+			sc.have[s.Index] = s.Data
+			distinct++
 		}
 	}
-	if len(have) < c.k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrNotEnoughShares, len(have), c.k)
+	if distinct < c.k {
+		return 0, fmt.Errorf("%w: have %d distinct, need %d", ErrNotEnoughShares, distinct, c.k)
+	}
+	for i := 0; i < c.k; i++ {
+		if sc.have[i] == nil {
+			sc.missing = append(sc.missing, i)
+		}
+	}
+	return size, nil
+}
+
+// decodeMatrix returns the inverted k×k decode matrix for the share set in
+// sc, selecting all present data shares plus enough parity shares, and
+// fills sc.rowIdx/sc.rows with the chosen rows. Inversions are cached by
+// row-index set: under steady loss the same handful of patterns recurs, so
+// the Gauss–Jordan cost is paid once per pattern.
+func (c *Code) decodeMatrix(sc *decodeScratch) (*gf256.Matrix, error) {
+	for i := 0; i < c.k; i++ {
+		if sc.have[i] != nil {
+			sc.rowIdx = append(sc.rowIdx, byte(i))
+			sc.rows = append(sc.rows, sc.have[i])
+		}
+	}
+	for i := c.k; i < c.k+c.m && len(sc.rowIdx) < c.k; i++ {
+		if sc.have[i] != nil {
+			sc.rowIdx = append(sc.rowIdx, byte(i))
+			sc.rows = append(sc.rows, sc.have[i])
+		}
 	}
 
-	out := make([][]byte, c.k)
-	missing := make([]int, 0, c.m)
-	for i := 0; i < c.k; i++ {
-		if d, ok := have[i]; ok {
-			out[i] = d
-		} else {
-			missing = append(missing, i)
-		}
-	}
-	if len(missing) == 0 {
-		return out, nil
+	c.invMu.RLock()
+	inv := c.invCache[string(sc.rowIdx)]
+	c.invMu.RUnlock()
+	if inv != nil {
+		return inv, nil
 	}
 
-	// Build a k×k decode matrix from the generator rows of k available
-	// shares (all present data shares plus enough parity shares).
-	rows := make([]int, 0, c.k)
-	for i := 0; i < c.k; i++ {
-		if _, ok := have[i]; ok {
-			rows = append(rows, i)
-		}
-	}
-	for i := c.k; i < c.k+c.m && len(rows) < c.k; i++ {
-		if _, ok := have[i]; ok {
-			rows = append(rows, i)
-		}
-	}
 	dec := gf256.NewMatrix(c.k, c.k)
-	for r, idx := range rows {
-		dec.SetRow(r, c.gen.Row(idx))
+	for r, idx := range sc.rowIdx {
+		dec.SetRow(r, c.gen.Row(int(idx)))
 	}
 	inv, err := dec.Invert()
 	if err != nil {
 		return nil, fmt.Errorf("fec: decode matrix: %w", err)
 	}
-	// data[j] = Σ_r inv[j][r] * share(rows[r]); only missing j are computed.
-	for _, j := range missing {
-		buf := make([]byte, size)
-		for r, idx := range rows {
-			gf256.MulSlice(inv.At(j, r), have[idx], buf)
+
+	c.invMu.Lock()
+	if len(c.invCache) >= maxCachedInversions {
+		// Evict an arbitrary entry; any recurring pattern re-earns its slot.
+		for key := range c.invCache {
+			delete(c.invCache, key)
+			break
 		}
+	}
+	c.invCache[string(sc.rowIdx)] = inv
+	c.invMu.Unlock()
+	return inv, nil
+}
+
+func (c *Code) getScratch() *decodeScratch { return c.scratch.Get().(*decodeScratch) }
+
+func (c *Code) putScratch(sc *decodeScratch) {
+	// Drop payload references so pooled scratch does not pin share buffers.
+	clear(sc.have)
+	sc.rows = sc.rows[:0]
+	sc.rowIdx = sc.rowIdx[:0]
+	sc.missing = sc.missing[:0]
+	c.scratch.Put(sc)
+}
+
+// Reconstruct recovers the k original data shares from any k distinct
+// shares. Supplying duplicates, out-of-range indexes, or mismatched lengths
+// returns an error. The returned slices alias the input for data shares that
+// were received directly and are freshly allocated otherwise; use
+// ReconstructInto to decode into reused buffers.
+func (c *Code) Reconstruct(shares []Share) ([][]byte, error) {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	size, err := c.gather(sc, shares)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		out[i] = sc.have[i]
+	}
+	if len(sc.missing) == 0 {
+		return out, nil
+	}
+	inv, err := c.decodeMatrix(sc)
+	if err != nil {
+		return nil, err
+	}
+	// data[j] = Σ_r inv[j][r] · share(rowIdx[r]); only missing j are computed.
+	for _, j := range sc.missing {
+		buf := make([]byte, size)
+		gf256.MulAddSlices(inv.Row(j), sc.rows, buf)
 		out[j] = buf
 	}
 	return out, nil
+}
+
+// ReconstructInto recovers the k original data shares into the
+// caller-provided buffers: out must be exactly k slices of the shares'
+// common length. Directly received data shares are copied into out and
+// missing ones are decoded in place, so out is fully caller-owned
+// afterwards — nothing aliases the input shares. In steady state (decode
+// matrix cached) it performs no heap allocations, letting receivers cycle
+// one window-sized buffer set through every window they repair.
+func (c *Code) ReconstructInto(shares []Share, out [][]byte) error {
+	if len(out) != c.k {
+		return fmt.Errorf("fec: ReconstructInto got %d output buffers, want %d", len(out), c.k)
+	}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	size, err := c.gather(sc, shares)
+	if err != nil {
+		return err
+	}
+	for j, buf := range out {
+		if len(buf) != size {
+			return fmt.Errorf("fec: output buffer %d has length %d, want %d", j, len(buf), size)
+		}
+	}
+	var inv *gf256.Matrix
+	if len(sc.missing) > 0 {
+		if inv, err = c.decodeMatrix(sc); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < c.k; i++ {
+		if sc.have[i] != nil {
+			copy(out[i], sc.have[i])
+		}
+	}
+	for _, j := range sc.missing {
+		clear(out[j])
+		gf256.MulAddSlices(inv.Row(j), sc.rows, out[j])
+	}
+	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package fec
+
+// raceEnabled skips allocation-count assertions under the race detector,
+// which intentionally defeats sync.Pool reuse to widen race coverage.
+const raceEnabled = true

@@ -286,15 +286,3 @@ func pickDistinct(seed uint32, n, count int) []int {
 	return perm[:count]
 }
 
-func BenchmarkMulSlice(b *testing.B) {
-	src := make([]byte, 1316)
-	dst := make([]byte, 1316)
-	for i := range src {
-		src[i] = byte(i * 31)
-	}
-	b.SetBytes(int64(len(src)))
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		MulSlice(byte(i%255+1), src, dst)
-	}
-}

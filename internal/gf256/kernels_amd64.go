@@ -1,0 +1,53 @@
+//go:build amd64
+
+package gf256
+
+// simdBlock is the SIMD kernel's step: below this length the dispatch
+// overhead outweighs the shuffle.
+const simdBlock = 32
+
+// useSIMD reports whether the AVX2 PSHUFB kernel is usable on this CPU.
+// It is written once at init and by tests forcing the portable path.
+var useSIMD = detectAVX2()
+
+// cpuidAsm executes CPUID with the given leaf and subleaf.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads extended control register 0.
+func xgetbvAsm() (eax, edx uint32)
+
+// mulAddVecAVX2 computes dst[i] ^= nib-table(src[i]) for i in [0, n) using
+// 32-byte PSHUFB steps over the split nibble tables. n must be a multiple
+// of 32; src and dst must each hold at least n bytes.
+func mulAddVecAVX2(nib *[32]byte, src, dst *byte, n int)
+
+// detectAVX2 checks CPU and OS support for the YMM state the kernel needs:
+// CPUID.1:ECX reports OSXSAVE and AVX, XCR0 confirms the OS saves SSE+AVX
+// state, and CPUID.7:EBX reports AVX2 itself.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if ecx1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if xcr0, _ := xgetbvAsm(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// mulAddSIMD streams the largest 32-byte-aligned prefix of src into dst
+// through the AVX2 kernel and returns how many bytes it handled.
+func mulAddSIMD(t *mulTab, src, dst []byte) int {
+	n := len(dst) &^ (simdBlock - 1)
+	if n == 0 {
+		return 0
+	}
+	mulAddVecAVX2(&t.nib, &src[0], &dst[0], n)
+	return n
+}

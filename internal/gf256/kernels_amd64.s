@@ -1,0 +1,65 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Per-byte nibble mask for splitting each source byte into its table
+// indexes.
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulAddVecAVX2(nib *[32]byte, src, dst *byte, n int)
+//
+// dst[i] ^= table(src[i]) for i in [0, n), n a multiple of 32. Each step
+// splits 32 source bytes into low/high nibbles and resolves both through
+// 16-entry PSHUFB shuffles of the coefficient's split tables:
+// product = nib[b&15] ^ nib[16 + (b>>4)].
+TEXT ·mulAddVecAVX2(SB), NOSPLIT, $0-32
+	MOVQ nib+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ n+24(FP), CX
+	SHRQ $5, CX
+	JZ   done
+
+	VBROADCASTI128 (AX), Y0           // low-nibble products in both lanes
+	VBROADCASTI128 16(AX), Y1         // high-nibble products in both lanes
+	VBROADCASTI128 nibMask<>(SB), Y4
+
+loop:
+	VMOVDQU (SI), Y2
+	VPSRLQ  $4, Y2, Y3
+	VPAND   Y4, Y2, Y2                // low nibbles
+	VPAND   Y4, Y3, Y3                // high nibbles
+	VPSHUFB Y2, Y0, Y2
+	VPSHUFB Y3, Y1, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop
+	VZEROUPPER
+
+done:
+	RET

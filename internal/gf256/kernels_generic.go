@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package gf256
+
+// Non-amd64 builds have no SIMD kernel; the portable table path handles
+// everything. The constants keep the dispatch sites in kernels.go shared.
+const simdBlock = 32
+
+var useSIMD = false
+
+func mulAddSIMD(t *mulTab, src, dst []byte) int { return 0 }

@@ -1,0 +1,203 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// withPortableKernel runs f with the SIMD kernel disabled so the portable
+// table path is exercised even on machines that would dispatch to AVX2.
+func withPortableKernel(t *testing.T, f func(t *testing.T)) {
+	saved := useSIMD
+	useSIMD = false
+	defer func() { useSIMD = saved }()
+	f(t)
+}
+
+// kernelLengths covers the shapes the dispatchers special-case: empty,
+// sub-word, word-boundary, sub-SIMD-block, block-boundary, and unaligned
+// tails on either side of each boundary.
+var kernelLengths = []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 255, 256, 257, 1316}
+
+func TestMulSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(t *testing.T) {
+		for _, n := range kernelLengths {
+			for _, c := range []byte{0, 1, 2, 3, 0x1d, 0x80, 0xfe, 0xff, byte(rng.Intn(256))} {
+				src := make([]byte, n)
+				rng.Read(src)
+				dst := make([]byte, n)
+				rng.Read(dst)
+				want := append([]byte(nil), dst...)
+				MulSliceRef(c, src, want)
+				got := append([]byte(nil), dst...)
+				MulSlice(c, src, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulSlice(c=%#x, n=%d) diverges from reference", c, n)
+				}
+			}
+		}
+	}
+	t.Run("dispatch", check)
+	t.Run("portable", func(t *testing.T) { withPortableKernel(t, check) })
+}
+
+func TestMulAddSlicesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	check := func(t *testing.T) {
+		for _, n := range kernelLengths {
+			// Source counts around the 4-way grouping boundary, including
+			// the paper's k=101.
+			for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 101} {
+				coeffs := make([]byte, rows)
+				srcs := make([][]byte, rows)
+				for j := range srcs {
+					coeffs[j] = byte(rng.Intn(256)) // zeros and ones included
+					srcs[j] = make([]byte, n)
+					rng.Read(srcs[j])
+				}
+				dst := make([]byte, n)
+				rng.Read(dst)
+				want := append([]byte(nil), dst...)
+				MulAddSlicesRef(coeffs, srcs, want)
+				got := append([]byte(nil), dst...)
+				MulAddSlices(coeffs, srcs, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("MulAddSlices(rows=%d, n=%d) diverges from reference", rows, n)
+				}
+			}
+		}
+	}
+	t.Run("dispatch", check)
+	t.Run("portable", func(t *testing.T) { withPortableKernel(t, check) })
+}
+
+func TestMulSliceUnalignedViews(t *testing.T) {
+	// Slices handed to the kernels rarely start at 32-byte boundaries;
+	// sweep every offset within one SIMD block.
+	rng := rand.New(rand.NewSource(3))
+	backingSrc := make([]byte, 4096)
+	backingDst := make([]byte, 4096)
+	rng.Read(backingSrc)
+	for off := 0; off < 32; off++ {
+		for _, n := range []int{33, 256, 1316} {
+			src := backingSrc[off : off+n]
+			rng.Read(backingDst)
+			dst := backingDst[off : off+n]
+			want := append([]byte(nil), dst...)
+			MulSliceRef(0xb7, src, want)
+			MulSlice(0xb7, src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulSlice diverges at offset %d length %d", off, n)
+			}
+		}
+	}
+}
+
+func TestScaleSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range kernelLengths {
+		for _, c := range []byte{0, 1, 2, 0x53, 0xff} {
+			s := make([]byte, n)
+			rng.Read(s)
+			want := make([]byte, n)
+			for i, v := range s {
+				want[i] = Mul(c, v)
+			}
+			got := append([]byte(nil), s...)
+			ScaleSlice(c, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ScaleSlice(c=%#x, n=%d) diverges from scalar Mul", c, n)
+			}
+		}
+	}
+}
+
+func TestMulAddSlicesMismatchPanics(t *testing.T) {
+	t.Run("coeffs", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for coefficient/source count mismatch")
+			}
+		}()
+		MulAddSlices([]byte{1, 2}, [][]byte{make([]byte, 4)}, make([]byte, 4))
+	})
+	t.Run("length", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for source/dst length mismatch")
+			}
+		}()
+		MulAddSlices([]byte{1}, [][]byte{make([]byte, 3)}, make([]byte, 4))
+	})
+}
+
+func TestTableForIsConsistent(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		tab := tableFor(byte(c))
+		for b := 0; b < 256; b++ {
+			want := Mul(byte(c), byte(b))
+			if tab.full[b] != want {
+				t.Fatalf("full table for c=%#x wrong at b=%#x", c, b)
+			}
+			if got := tab.nib[b&0x0f] ^ tab.nib[16+(b>>4)]; got != want {
+				t.Fatalf("nibble tables for c=%#x wrong at b=%#x: %#x != %#x", c, b, got, want)
+			}
+		}
+	}
+}
+
+func benchSlices(n, rows int) ([]byte, [][]byte, []byte) {
+	rng := rand.New(rand.NewSource(5))
+	coeffs := make([]byte, rows)
+	srcs := make([][]byte, rows)
+	for j := range srcs {
+		coeffs[j] = byte(2 + rng.Intn(254))
+		srcs[j] = make([]byte, n)
+		rng.Read(srcs[j])
+	}
+	dst := make([]byte, n)
+	return coeffs, srcs, dst
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	for _, n := range []int{64, 1316, 65536} {
+		_, srcs, dst := benchSlices(n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSlice(0xb7, srcs[0], dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulSliceRef(b *testing.B) {
+	for _, n := range []int{64, 1316, 65536} {
+		_, srcs, dst := benchSlices(n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				MulSliceRef(0xb7, srcs[0], dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulAddSlices(b *testing.B) {
+	coeffs, srcs, dst := benchSlices(1316, 101)
+	b.SetBytes(int64(len(srcs) * 1316))
+	for i := 0; i < b.N; i++ {
+		MulAddSlices(coeffs, srcs, dst)
+	}
+}
+
+func BenchmarkMulAddSlicesRef(b *testing.B) {
+	coeffs, srcs, dst := benchSlices(1316, 101)
+	b.SetBytes(int64(len(srcs) * 1316))
+	for i := 0; i < b.N; i++ {
+		MulAddSlicesRef(coeffs, srcs, dst)
+	}
+}

@@ -177,11 +177,14 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// Receiver exposes delivery state for metrics (lock briefly held).
+// Receiver returns a consistent snapshot of delivery state for metrics.
+// The engine keeps mutating its live receiver from timer and socket
+// goroutines, so handing that pointer out would race with concurrent
+// polling; a copy under the lock is cheap at metric-polling rates.
 func (n *Node) Receiver() *stream.Receiver {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.peer.Receiver()
+	return n.peer.Receiver().Snapshot()
 }
 
 // Counters returns the engine's protocol counters.

@@ -189,16 +189,22 @@ func (s *Source) Layout() Layout { return s.layout }
 // previous call and no later than now. The returned pointers are shared and
 // must be treated as immutable.
 func (s *Source) PacketsUntil(now time.Duration) []*Packet {
-	var out []*Packet
+	return s.AppendPacketsUntil(nil, now)
+}
+
+// AppendPacketsUntil is PacketsUntil appending into a caller-provided slice
+// so per-tick drivers can reuse one scratch buffer instead of allocating
+// every gossip round.
+func (s *Source) AppendPacketsUntil(dst []*Packet, now time.Duration) []*Packet {
 	for s.next < len(s.order) {
 		id := s.order[s.next]
 		if s.layout.PublishTime(id) > now {
 			break
 		}
-		out = append(out, s.materialize(id))
+		dst = append(dst, s.materialize(id))
 		s.next++
 	}
-	return out
+	return dst
 }
 
 // Done reports whether every packet of the stream has been emitted.
@@ -210,12 +216,15 @@ func (s *Source) Done() bool { return s.next >= len(s.order) }
 func (s *Source) Packet(id PacketID) *Packet { return s.packets[id] }
 
 // materialize creates the packet for id, generating payload bytes and, at
-// window boundaries, the FEC parity packets.
+// window boundaries, the FEC parity packets. Every window's payloads — data
+// and parity — live in two contiguous arenas, so producing a 110-packet
+// window costs two allocations instead of one per packet, and parity is
+// computed with the zero-allocation EncodeInto.
 func (s *Source) materialize(id PacketID) *Packet {
 	l := s.layout
 	w, idx := l.WindowOf(id), l.IndexOf(id)
 	if idx == 0 {
-		s.window = s.window[:0]
+		s.window = fec.AllocShares(l.DataPerWindow, l.PayloadBytes)
 	}
 	p := &Packet{
 		ID:     id,
@@ -224,13 +233,12 @@ func (s *Source) materialize(id PacketID) *Packet {
 		Parity: idx >= l.DataPerWindow,
 	}
 	if !p.Parity {
-		payload := make([]byte, l.PayloadBytes)
+		payload := s.window[idx]
 		s.rng.Read(payload)
 		p.Payload = payload
-		s.window = append(s.window, payload)
 		if idx == l.DataPerWindow-1 && s.code != nil {
-			parity, err := s.code.Encode(s.window)
-			if err != nil {
+			parity := fec.AllocShares(l.ParityPerWindow, l.PayloadBytes)
+			if err := s.code.EncodeInto(s.window, parity); err != nil {
 				// Window shapes are validated at construction; an encode
 				// failure here is a programmer error.
 				panic(fmt.Sprintf("stream: window %d encode: %v", w, err))
@@ -283,6 +291,21 @@ func NewReceiver(layout Layout) *Receiver {
 		ws[i].seen = make([]uint64, words)
 	}
 	return &Receiver{layout: layout, windows: ws}
+}
+
+// Snapshot returns a deep copy of the receiver's state, for readers that
+// poll metrics while another goroutine keeps delivering. The caller owning
+// synchronization of Deliver decides when the snapshot is taken.
+func (r *Receiver) Snapshot() *Receiver {
+	cp := &Receiver{layout: r.layout, delivered: r.delivered, windows: make([]windowState, len(r.windows))}
+	for i, ws := range r.windows {
+		cp.windows[i] = windowState{
+			seen:      append([]uint64(nil), ws.seen...),
+			count:     ws.count,
+			completed: ws.completed,
+		}
+	}
+	return cp
 }
 
 // Deliver records receipt of packet id at virtual time now. It returns true
@@ -355,6 +378,7 @@ type Reassembler struct {
 	layout  Layout
 	code    *fec.Code
 	packets map[PacketID]*Packet
+	shares  []fec.Share // scratch reused across Reconstruct calls
 }
 
 // NewReassembler returns a Reassembler for the layout.
@@ -380,16 +404,26 @@ func (a *Reassembler) Add(p *Packet) {
 	}
 }
 
-// Reconstruct returns the original payloads of window w in index order,
-// decoding through FEC when data packets are missing.
-func (a *Reassembler) Reconstruct(w int) ([][]byte, error) {
+// gatherShares refreshes the scratch share list with window w's received
+// packets.
+func (a *Reassembler) gatherShares(w int) []fec.Share {
 	l := a.layout
-	var got []fec.Share
+	a.shares = a.shares[:0]
 	for i := 0; i < l.WindowTotal(); i++ {
 		if p, ok := a.packets[l.IDFor(w, i)]; ok {
-			got = append(got, fec.Share{Index: i, Data: p.Payload})
+			a.shares = append(a.shares, fec.Share{Index: i, Data: p.Payload})
 		}
 	}
+	return a.shares
+}
+
+// Reconstruct returns the original payloads of window w in index order,
+// decoding through FEC when data packets are missing. The returned slices
+// alias stored packet payloads where possible; use ReconstructInto to
+// decode into caller-owned buffers.
+func (a *Reassembler) Reconstruct(w int) ([][]byte, error) {
+	l := a.layout
+	got := a.gatherShares(w)
 	if a.code == nil {
 		// No FEC: all data packets must be present.
 		if len(got) < l.DataPerWindow {
@@ -408,4 +442,44 @@ func (a *Reassembler) Reconstruct(w int) ([][]byte, error) {
 		return nil, fmt.Errorf("stream: window %d: %w", w, err)
 	}
 	return data, nil
+}
+
+// WindowBuffers returns a reusable output buffer set for ReconstructInto:
+// DataPerWindow slices of PayloadBytes each, carved from one contiguous
+// arena. Allocate once, then cycle through every window.
+func (a *Reassembler) WindowBuffers() [][]byte {
+	return fec.AllocShares(a.layout.DataPerWindow, a.layout.PayloadBytes)
+}
+
+// ReconstructInto recovers window w's original payloads into out, which
+// must hold DataPerWindow slices of the window's payload size (see
+// WindowBuffers). Received payloads are copied and missing ones FEC-decoded
+// in place; with the window's loss pattern already in the decode cache the
+// call performs no heap allocations, so one buffer set can be cycled
+// through an entire stream.
+func (a *Reassembler) ReconstructInto(w int, out [][]byte) error {
+	l := a.layout
+	got := a.gatherShares(w)
+	if a.code == nil {
+		if len(out) != l.DataPerWindow {
+			return fmt.Errorf("stream: window %d: got %d output buffers, want %d", w, len(out), l.DataPerWindow)
+		}
+		if len(got) < l.DataPerWindow {
+			return fmt.Errorf("stream: window %d has %d/%d packets and no FEC", w, len(got), l.DataPerWindow)
+		}
+		for _, s := range got {
+			if s.Index >= l.DataPerWindow {
+				continue
+			}
+			if len(out[s.Index]) != len(s.Data) {
+				return fmt.Errorf("stream: window %d: output buffer %d has length %d, want %d", w, s.Index, len(out[s.Index]), len(s.Data))
+			}
+			copy(out[s.Index], s.Data)
+		}
+		return nil
+	}
+	if err := a.code.ReconstructInto(got, out); err != nil {
+		return fmt.Errorf("stream: window %d: %w", w, err)
+	}
+	return nil
 }

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestReconstructIntoCyclesOneBufferSet drives the zero-allocation decode
+// path the way a receiver would: one WindowBuffers set reused for every
+// window, under per-window data loss.
+func TestReconstructIntoCyclesOneBufferSet(t *testing.T) {
+	src, err := NewSource(tinyLayout(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := src.Layout()
+	asm, err := NewReassembler(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range src.PacketsUntil(l.Duration()) {
+		if !p.Parity && (p.Index == 0 || p.Index == 2) {
+			continue
+		}
+		asm.Add(p)
+	}
+	out := asm.WindowBuffers()
+	if len(out) != l.DataPerWindow || len(out[0]) != l.PayloadBytes {
+		t.Fatalf("WindowBuffers shape %dx%d, want %dx%d", len(out), len(out[0]), l.DataPerWindow, l.PayloadBytes)
+	}
+	for w := 0; w < l.Windows; w++ {
+		if err := asm.ReconstructInto(w, out); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for i := 0; i < l.DataPerWindow; i++ {
+			want := src.Packet(l.IDFor(w, i)).Payload
+			if !bytes.Equal(out[i], want) {
+				t.Fatalf("window %d data %d mismatch after in-place FEC decode", w, i)
+			}
+		}
+	}
+}
+
+func TestReconstructIntoNoFEC(t *testing.T) {
+	l := tinyLayout()
+	l.ParityPerWindow = 0
+	src, err := NewSource(l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm, err := NewReassembler(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range src.PacketsUntil(l.Duration()) {
+		asm.Add(p)
+	}
+	out := asm.WindowBuffers()
+	for w := 0; w < l.Windows; w++ {
+		if err := asm.ReconstructInto(w, out); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for i := 0; i < l.DataPerWindow; i++ {
+			want := src.Packet(l.IDFor(w, i)).Payload
+			if !bytes.Equal(out[i], want) {
+				t.Fatalf("window %d data %d mismatch", w, i)
+			}
+		}
+	}
+}
+
+// TestAppendPacketsUntilMatchesPacketsUntil checks the scratch-reusing
+// variant emits the identical publish sequence.
+func TestAppendPacketsUntilMatchesPacketsUntil(t *testing.T) {
+	a, err := NewSource(tinyLayout(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSource(tinyLayout(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := a.Layout()
+	var scratch []*Packet
+	for now := time.Duration(0); now <= l.Duration(); now += l.PacketTime() {
+		want := a.PacketsUntil(now)
+		scratch = b.AppendPacketsUntil(scratch[:0], now)
+		if len(want) != len(scratch) {
+			t.Fatalf("at %v: %d packets vs %d", now, len(scratch), len(want))
+		}
+		for i := range want {
+			if want[i].ID != scratch[i].ID || !bytes.Equal(want[i].Payload, scratch[i].Payload) {
+				t.Fatalf("at %v: packet %d differs", now, i)
+			}
+		}
+	}
+	if !a.Done() || !b.Done() {
+		t.Fatal("sources did not finish")
+	}
+}
