@@ -1,0 +1,97 @@
+// Megasim scale benchmarks: wall time and event throughput of the sharded
+// simulation engine across system sizes and shard counts. These feed
+// BENCH_sim.json (see cmd/benchjson and the CI bench job); the shards-1
+// vs shards-N pairs at a fixed size measure parallel speedup.
+//
+// Every scenario is the paper's baseline (fanout 7, 600 kbps stream,
+// 700 kbps caps) over 30 simulated seconds, only bigger. Under -short the
+// large sizes are skipped so the suite stays CI-friendly; run without
+// -short (and with >= 8 cores) to reproduce the 100k acceptance numbers.
+package gossipstream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// simulatedScale is the virtual duration of every scale benchmark.
+const simulatedScale = 30 * time.Second
+
+func benchMegasim(b *testing.B, nodes, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(nodes, shards, simulatedScale)
+		cfg.Seed = 1
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		qs := res.SurvivorQualities()
+		b.ReportMetric(MeanCompleteFraction(qs, OfflineLag), "complete%")
+	}
+}
+
+func BenchmarkMegasim2kShards1(b *testing.B) { benchMegasim(b, 2_000, 1) }
+func BenchmarkMegasim2kShards8(b *testing.B) { benchMegasim(b, 2_000, 8) }
+
+func BenchmarkMegasim10kShards1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasim(b, 10_000, 1)
+}
+
+func BenchmarkMegasim10kShards8(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasim(b, 10_000, 8)
+}
+
+// BenchmarkMegasim100kShards* are the acceptance scenario: a 100k-node,
+// 30-simulated-second baseline. Expect minutes of wall time per shard
+// count; run with -benchtime=1x.
+func BenchmarkMegasim100kShards1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node scale run skipped in -short mode")
+	}
+	benchMegasim(b, 100_000, 1)
+}
+
+func BenchmarkMegasim100kShards8(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node scale run skipped in -short mode")
+	}
+	benchMegasim(b, 100_000, 8)
+}
+
+// BenchmarkMegasimEventThroughput is the sharded counterpart of
+// BenchmarkSimulatorEventThroughput: events per wall-second at a size the
+// single-threaded kernel also handles, for apples-to-apples engine
+// comparisons.
+func BenchmarkMegasimEventThroughput(b *testing.B) {
+	cfg := ScaledExperiment(2_000, 8, simulatedScale)
+	cfg.Seed = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		b.ReportMetric(float64(res.Events)/secs, "events/s")
+	}
+}
+
+// ExampleScaledExperiment documents the scale-run entry point.
+func ExampleScaledExperiment() {
+	cfg := ScaledExperiment(100_000, 8, 30*time.Second)
+	fmt.Println(cfg.Nodes, cfg.Shards, cfg.Layout.Duration()+cfg.Drain == 30*time.Second)
+	// Output: 100000 8 true
+}

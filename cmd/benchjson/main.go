@@ -1,0 +1,167 @@
+// Command benchjson runs the repository's simulation-scale and FEC-kernel
+// benchmarks once each and writes the results as JSON — the
+// machine-readable record of the performance trajectory (BENCH_sim.json).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-short] [-timeout 120m] [-out BENCH_sim.json]
+//
+// The tool shells out to `go test -bench` so the numbers are exactly what
+// the standard harness reports, then parses the text output. When both
+// 1-shard and 8-shard rows of a megasim size are present it also records
+// the parallel speedup — the headline number for the sharded engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark row.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	SecsPerOp  float64            `json:"secs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	GoVersion     string             `json:"go_version"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	CPUs          int                `json:"cpus"`
+	CPUModel      string             `json:"cpu_model,omitempty"`
+	BenchRegex    string             `json:"bench_regex"`
+	Short         bool               `json:"short"`
+	Results       []Result           `json:"results"`
+	Speedups      map[string]float64 `json:"megasim_shard_speedups,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+// metricPair matches the trailing `<value> <unit>` pairs of a bench line.
+var metricPair = regexp.MustCompile(`(\d+(?:\.\d+)?) (\S+)`)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "BenchmarkMegasim|BenchmarkFEC", "benchmark regex passed to go test -bench")
+		short   = flag.Bool("short", false, "pass -short (skips the 10k/100k scale runs)")
+		timeout = flag.Duration("timeout", 120*time.Minute, "go test timeout")
+		out     = flag.String("out", "BENCH_sim.json", "output path")
+		pkg     = flag.String("pkg", ".", "package containing the benchmarks")
+	)
+	flag.Parse()
+	if err := run(*bench, *pkg, *out, *timeout, *short); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg, out string, timeout time.Duration, short bool) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", "1x", "-count", "1",
+		"-timeout", timeout.String()}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, pkg)
+	fmt.Fprintln(os.Stderr, "benchjson: go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	// Stream the raw table for the operator before any error handling so
+	// partial output is never lost.
+	os.Stderr.Write(raw)
+	if err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		BenchRegex:    bench,
+		Short:         short,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "cpu:") {
+			rep.CPUModel = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Iterations: iters,
+			NsPerOp:    ns,
+			SecsPerOp:  ns / 1e9,
+		}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[pair[2]] = v
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	rep.Speedups = speedups(rep.Results)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), out)
+	return nil
+}
+
+// speedups derives shards-8-over-shards-1 wall-time ratios per megasim
+// size, e.g. "Megasim100k": 4.2.
+func speedups(results []Result) map[string]float64 {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	out := map[string]float64{}
+	for name, one := range byName {
+		base, ok := strings.CutSuffix(name, "Shards1")
+		if !ok {
+			continue
+		}
+		if eight, ok := byName[base+"Shards8"]; ok && eight > 0 {
+			out[base] = one / eight
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

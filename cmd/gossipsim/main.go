@@ -8,11 +8,17 @@
 // Example — a static mesh under 30% catastrophic churn:
 //
 //	gossipsim -refresh 0 -churn 0.3
+//
+// Example — 100k nodes on the sharded engine, 8 shards, a short stream:
+//
+//	gossipsim -nodes 100000 -shards 8 -windows 14
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,28 +26,58 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gossipsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		nodes   = flag.Int("nodes", 230, "system size including the source")
-		fanout  = flag.Int("fanout", 7, "gossip fanout f")
-		refresh = flag.Int("refresh", 1, "view refresh rate X (0 = never, the paper's ∞)")
-		feed    = flag.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
-		capKbps = flag.Int64("cap", 700, "upload cap per node in kbps (0 = unlimited)")
-		windows = flag.Int("windows", 120, "stream length in 110-packet windows")
-		churnAt = flag.Float64("churn", 0, "fraction of nodes failing mid-stream (0 = none)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		verbose = flag.Bool("v", false, "print per-node detail")
+		nodes   = fs.Int("nodes", 230, "system size including the source")
+		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		fanout  = fs.Int("fanout", 7, "gossip fanout f")
+		refresh = fs.Int("refresh", 1, "view refresh rate X (0 = never, the paper's ∞)")
+		feed    = fs.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
+		capKbps = fs.Int64("cap", 700, "upload cap per node in kbps (0 = unlimited)")
+		windows = fs.Int("windows", 120, "stream length in 110-packet windows")
+		churnAt = fs.Float64("churn", 0, "fraction of nodes failing mid-stream (0 = none)")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		verbose = fs.Bool("v", false, "print per-node detail")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	switch {
+	case *nodes < 2:
+		return fmt.Errorf("-nodes %d: need at least a source and one peer", *nodes)
+	case *shards < 0:
+		return fmt.Errorf("-shards %d: want >= 0", *shards)
+	case *fanout < 1:
+		return fmt.Errorf("-fanout %d: want >= 1", *fanout)
+	case *refresh < 0:
+		return fmt.Errorf("-refresh %d: want >= 0", *refresh)
+	case *feed < 0:
+		return fmt.Errorf("-feed %d: want >= 0", *feed)
+	case *capKbps < 0:
+		return fmt.Errorf("-cap %d: want >= 0", *capKbps)
+	case *windows < 1:
+		return fmt.Errorf("-windows %d: want >= 1", *windows)
+	case *churnAt < 0 || *churnAt > 1:
+		return fmt.Errorf("-churn %v: want a fraction in [0,1]", *churnAt)
+	}
 
 	cfg := gossipstream.DefaultExperiment()
 	cfg.Nodes = *nodes
+	cfg.Shards = *shards
 	cfg.Seed = *seed
 	cfg.Protocol.Fanout = *fanout
 	cfg.Protocol.RefreshEvery = *refresh
@@ -60,14 +96,20 @@ func run() error {
 	wall := time.Since(start)
 
 	qs := res.SurvivorQualities()
-	fmt.Printf("simulated %v of a %d-node system in %v (%d events)\n",
-		res.Duration.Round(time.Second), cfg.Nodes, wall.Round(time.Millisecond), res.Events)
-	fmt.Printf("stream: %d kbps, %d windows of %d+%d packets\n",
+	// res.Config holds the normalized configuration (e.g. shard count
+	// clamped to the node count), so report from it, not the request.
+	engine := "single-threaded kernel"
+	if res.Config.Shards > 0 {
+		engine = fmt.Sprintf("sharded engine, %d shards", res.Config.Shards)
+	}
+	fmt.Fprintf(out, "simulated %v of a %d-node system in %v (%d events, %s)\n",
+		res.Duration.Round(time.Second), cfg.Nodes, wall.Round(time.Millisecond), res.Events, engine)
+	fmt.Fprintf(out, "stream: %d kbps, %d windows of %d+%d packets\n",
 		cfg.Layout.RateBps/1000, cfg.Layout.Windows, cfg.Layout.DataPerWindow, cfg.Layout.ParityPerWindow)
-	fmt.Printf("protocol: fanout %d, X=%s, Y=%s, cap %d kbps\n",
+	fmt.Fprintf(out, "protocol: fanout %d, X=%s, Y=%s, cap %d kbps\n",
 		cfg.Protocol.Fanout, rate(cfg.Protocol.RefreshEvery), rate(cfg.Protocol.FeedEvery), cfg.UploadCapBps/1000)
-	fmt.Println()
-	fmt.Printf("%-28s %8s\n", "metric", "value")
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-28s %8s\n", "metric", "value")
 	for _, lag := range []struct {
 		name string
 		d    time.Duration
@@ -76,25 +118,25 @@ func run() error {
 		{"viewable (<1% jitter) @20s", 20 * time.Second},
 		{"viewable (<1% jitter) offline", gossipstream.OfflineLag},
 	} {
-		fmt.Printf("%-28s %7.1f%%\n", lag.name,
+		fmt.Fprintf(out, "%-28s %7.1f%%\n", lag.name,
 			gossipstream.PercentViewable(qs, lag.d, gossipstream.JitterThreshold))
 	}
-	fmt.Printf("%-28s %7.1f%%\n", "mean complete windows @20s",
+	fmt.Fprintf(out, "%-28s %7.1f%%\n", "mean complete windows @20s",
 		gossipstream.MeanCompleteFraction(qs, 20*time.Second))
-	fmt.Printf("%-28s %7.1f%%\n", "mean complete windows offline",
+	fmt.Fprintf(out, "%-28s %7.1f%%\n", "mean complete windows offline",
 		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
 
 	dist := res.UploadDistribution()
 	if len(dist) > 0 {
-		fmt.Printf("%-28s %7.0f / %.0f / %.0f kbps\n", "upload max/median/min",
+		fmt.Fprintf(out, "%-28s %7.0f / %.0f / %.0f kbps\n", "upload max/median/min",
 			dist[0], dist[len(dist)/2], dist[len(dist)-1])
 	}
 
 	if *verbose {
-		fmt.Println()
-		fmt.Printf("%5s %9s %8s %9s %9s %7s\n", "node", "complete%", "upload", "requests", "retrans", "alive")
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "%5s %9s %8s %9s %9s %7s\n", "node", "complete%", "upload", "requests", "retrans", "alive")
 		for _, n := range res.Nodes {
-			fmt.Printf("%5d %8.1f%% %5.0fkb %9d %9d %7v\n",
+			fmt.Fprintf(out, "%5d %8.1f%% %5.0fkb %9d %9d %7v\n",
 				n.ID,
 				100*n.Quality.CompleteFraction(gossipstream.OfflineLag),
 				n.UploadKbps,

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"too few nodes", []string{"-nodes", "1"}},
+		{"negative shards", []string{"-shards", "-1"}},
+		{"zero fanout", []string{"-fanout", "0"}},
+		{"negative refresh", []string{"-refresh", "-1"}},
+		{"negative feed", []string{"-feed", "-2"}},
+		{"negative cap", []string{"-cap", "-5"}},
+		{"zero windows", []string{"-windows", "0"}},
+		{"churn above one", []string{"-churn", "1.5"}},
+		{"churn below zero", []string{"-churn", "-0.1"}},
+		{"unknown flag", []string{"-bogus"}},
+		{"stray argument", []string{"extra"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted, want error", tc.args)
+			}
+		})
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if !strings.Contains(out.String(), "-nodes") {
+		t.Fatalf("usage not printed:\n%s", out.String())
+	}
+}
+
+// completeRe captures the offline mean-complete percentage from the report.
+var completeRe = regexp.MustCompile(`mean complete windows offline\s+([0-9.]+)%`)
+
+func smoke(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestSmokeRunClassic(t *testing.T) {
+	got := smoke(t, "-nodes", "40", "-windows", "2", "-seed", "3")
+	if !strings.Contains(got, "single-threaded kernel") {
+		t.Fatalf("missing engine line in output:\n%s", got)
+	}
+	m := completeRe.FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no quality line in output:\n%s", got)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || v <= 0 {
+		t.Fatalf("offline completeness = %q, want > 0", m[1])
+	}
+}
+
+func TestSmokeRunSharded(t *testing.T) {
+	got := smoke(t, "-nodes", "40", "-windows", "2", "-seed", "3", "-shards", "2")
+	if !strings.Contains(got, "sharded engine, 2 shards") {
+		t.Fatalf("missing engine line in output:\n%s", got)
+	}
+	m := completeRe.FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no quality line in output:\n%s", got)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || v <= 0 {
+		t.Fatalf("offline completeness = %q, want > 0", m[1])
+	}
+}
+
+func TestVerbosePerNodeTable(t *testing.T) {
+	got := smoke(t, "-nodes", "10", "-windows", "1", "-shards", "2", "-v")
+	if !strings.Contains(got, "complete%") {
+		t.Fatalf("verbose run missing per-node table:\n%s", got)
+	}
+}

@@ -11,7 +11,10 @@
 //   - A deterministic testbed simulator (internal/simnet and friends) that
 //     stands in for the paper's 230 PlanetLab nodes: capped, queued uplinks
 //     with drop-tail throttling, heterogeneous wide-area latencies, and
-//     ambient UDP loss.
+//     ambient UDP loss. For internet-scale experiments the same network
+//     model runs on a sharded parallel engine (internal/megasim) that
+//     spreads 100k+ nodes across per-core shards — select it with
+//     ExperimentConfig.Shards (or ScaledExperiment).
 //   - A real-time UDP driver (internal/rt) that runs the same engine over
 //     actual sockets.
 //
@@ -31,6 +34,7 @@ import (
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/rt"
 	"gossipstream/internal/shaping"
+	"gossipstream/internal/simnet"
 	"gossipstream/internal/stream"
 	"gossipstream/internal/wire"
 )
@@ -53,6 +57,11 @@ type (
 	ExperimentResult = experiment.Result
 	// NodeResult is one node's outcome within an ExperimentResult.
 	NodeResult = experiment.NodeResult
+	// NetStats holds a node's traffic and drop counters (NodeResult.Stats):
+	// per-kind sent/received messages and bytes plus the three loss modes
+	// (congestion, random UDP loss, crashed endpoints). Both simulation
+	// engines fill the same counters.
+	NetStats = simnet.Stats
 	// FigureOptions scales and parameterizes figure generation.
 	FigureOptions = experiment.Options
 	// Quality holds a node's per-window stream lags.
@@ -111,6 +120,34 @@ func DefaultLayout(windows int) StreamLayout { return stream.DefaultLayout(windo
 // DefaultExperiment returns the paper's baseline deployment: 230 nodes with
 // 700 kbps upload caps streaming ≈212 s.
 func DefaultExperiment() ExperimentConfig { return experiment.Defaults() }
+
+// ScaledExperiment returns the baseline deployment scaled to large systems:
+// nodes participants on the sharded parallel engine with the given shard
+// count (normally runtime.GOMAXPROCS(0)), streaming for approximately
+// simFor of virtual time (stream plus drain). Every other knob — protocol,
+// stream rate, caps, network model — stays at the paper's baseline, so
+// results compare directly against the 230-node figures.
+func ScaledExperiment(nodes, shards int, simFor time.Duration) ExperimentConfig {
+	cfg := experiment.Defaults()
+	cfg.Nodes = nodes
+	if shards > nodes {
+		shards = nodes // more shards than nodes would leave shards empty
+	}
+	cfg.Shards = shards
+	// Fit as many whole windows as leave ≥ 20% of the budget for drain,
+	// with at least one window.
+	windowTime := cfg.Layout.Duration() / time.Duration(cfg.Layout.Windows)
+	windows := int(float64(simFor) * 0.8 / float64(windowTime))
+	if windows < 1 {
+		windows = 1
+	}
+	cfg.Layout.Windows = windows
+	cfg.Drain = simFor - cfg.Layout.Duration()
+	if cfg.Drain < 0 {
+		cfg.Drain = 0
+	}
+	return cfg
+}
 
 // RunExperiment executes one simulated deployment.
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {

@@ -168,9 +168,16 @@ type Peer struct {
 
 	source *stream.Source // nil for ordinary peers
 
-	store     map[stream.PacketID]*stream.Packet
+	// store is dense over the stream's id space (ids are validated against
+	// layoutTotal before insertion): direct indexing beats a map on both
+	// memory and lookup cost, which matters when simulations hold 100k+
+	// peers at once.
+	store     []*stream.Packet
 	toPropose []stream.PacketID
-	req       map[stream.PacketID]*requestState
+	// req is dense like store: one slot per stream id, nil once the
+	// packet is delivered or never requested. Profiling 100k-node runs
+	// showed the former map's hashing among the top costs.
+	req []*requestState
 
 	round       int
 	running     bool
@@ -219,8 +226,8 @@ func newPeer(env Env, cfg Config, sampler member.Sampler, layout stream.Layout, 
 		view:        member.NewView(sampler, fanout, cfg.RefreshEvery, env.Rand()),
 		recv:        stream.NewReceiver(layout),
 		source:      src,
-		store:       make(map[stream.PacketID]*stream.Packet),
-		req:         make(map[stream.PacketID]*requestState),
+		store:       make([]*stream.Packet, layout.TotalPackets()),
+		req:         make([]*requestState, layout.TotalPackets()),
 		retCancels:  make(map[int]func()),
 		layoutTotal: layout.TotalPackets(),
 	}
@@ -281,7 +288,9 @@ func (p *Peer) tick() {
 		p.toPropose = nil // infect and die
 		partners := p.view.Partners()
 		for _, chunk := range wire.SplitIDs(ids) {
-			msg := wire.Propose{IDs: chunk}
+			// Box the message once: Send takes an interface, and
+			// converting per partner would allocate fanout times per round.
+			var msg wire.Message = wire.Propose{IDs: chunk}
 			for _, partner := range partners {
 				p.env.Send(partner, msg)
 				p.counters.ProposesSent++
@@ -400,7 +409,11 @@ func (p *Peer) retransmit(proposer wire.NodeID, ids []stream.PacketID) {
 	if !p.running {
 		return
 	}
+	// targets keeps first-use order: iterating the grouping map directly
+	// would randomize send order and with it the whole run (uplink queue
+	// order, event sequence numbers), breaking seed-determinism.
 	perTarget := make(map[wire.NodeID][]stream.PacketID)
+	var targets []wire.NodeID
 	var again []stream.PacketID
 	for _, id := range ids {
 		if p.recv.Has(id) {
@@ -415,11 +428,14 @@ func (p *Peer) retransmit(proposer wire.NodeID, ids []stream.PacketID) {
 		if p.cfg.Retry == RetryRandomProposer && len(st.proposers) > 0 {
 			target = st.proposers[p.env.Rand().Intn(len(st.proposers))]
 		}
+		if _, seen := perTarget[target]; !seen {
+			targets = append(targets, target)
+		}
 		perTarget[target] = append(perTarget[target], id)
 		again = append(again, id)
 	}
-	for target, tids := range perTarget {
-		for _, chunk := range wire.SplitIDs(tids) {
+	for _, target := range targets {
+		for _, chunk := range wire.SplitIDs(perTarget[target]) {
 			p.env.Send(target, wire.Request{IDs: chunk})
 			p.counters.RequestsSent++
 			p.counters.Retransmissions++
@@ -451,8 +467,10 @@ func (p *Peer) handleRequest(from wire.NodeID, m wire.Request) {
 
 // lookup fetches a packet from the local store (getEvent in Algorithm 1).
 func (p *Peer) lookup(id stream.PacketID) *stream.Packet {
-	if pkt, ok := p.store[id]; ok {
-		return pkt
+	if int(id) < len(p.store) {
+		if pkt := p.store[id]; pkt != nil {
+			return pkt
+		}
 	}
 	if p.source != nil {
 		return p.source.Packet(id)
@@ -470,6 +488,6 @@ func (p *Peer) handleServe(m wire.Serve) {
 		}
 		p.store[pkt.ID] = pkt
 		p.toPropose = append(p.toPropose, pkt.ID)
-		delete(p.req, pkt.ID) // retransmission state no longer needed
+		p.req[pkt.ID] = nil // retransmission state no longer needed
 	}
 }

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gossipstream/internal/churn"
+	"gossipstream/internal/metrics"
+)
+
+// smallCfg is a quick deployment that still exercises shaping, loss,
+// retransmission, and FEC.
+func smallCfg(seed int64) Config {
+	cfg := Defaults()
+	cfg.Nodes = 60
+	cfg.Seed = seed
+	cfg.Layout.Windows = 2
+	cfg.Drain = 10 * time.Second
+	return cfg
+}
+
+// qualityHash digests every node's per-window lags — the "byte-identical
+// quality metrics" check: two runs agree iff their hashes agree.
+func qualityHash(t *testing.T, res *Result) [32]byte {
+	t.Helper()
+	h := sha256.New()
+	var buf [8]byte
+	for _, n := range res.Nodes {
+		for w := 0; w < n.Quality.Windows(); w++ {
+			lag, ok := n.Quality.WindowLag(w)
+			if !ok {
+				lag = metrics.NeverCompleted
+			}
+			binary.LittleEndian.PutUint64(buf[:], uint64(lag))
+			h.Write(buf[:])
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// TestRunDeterministicReplayDeep upgrades the replay check to the whole
+// Result — counters, stats, uploads, event counts — for the classic
+// engine, including a retransmission-heavy churn scenario (the path that
+// once depended on map iteration order).
+func TestRunDeterministicReplayDeep(t *testing.T) {
+	cfg := smallCfg(11)
+	cfg.Churn = append(cfg.Churn, ChurnAt(cfg.Layout.Duration()/2, 0.3)...)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("classic engine: identical seeds produced different Results")
+	}
+	if qualityHash(t, a) != qualityHash(t, b) {
+		t.Fatal("classic engine: quality metrics not byte-identical")
+	}
+}
+
+// TestRunShardedDeterministicReplay is the sharded-engine analogue: a
+// fixed (Seed, Shards) pair must reproduce the identical Result across
+// repeated runs regardless of goroutine interleaving.
+func TestRunShardedDeterministicReplay(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := smallCfg(11)
+			cfg.Shards = shards
+			cfg.Churn = append(cfg.Churn, ChurnAt(cfg.Layout.Duration()/2, 0.3)...)
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events == 0 {
+				t.Fatal("sharded run executed no events")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("sharded engine: identical (seed, shards) produced different Results")
+			}
+			if qualityHash(t, a) != qualityHash(t, b) {
+				t.Fatal("sharded engine: quality metrics not byte-identical")
+			}
+		})
+	}
+}
+
+// TestRunManyInterleavingIndependence checks that results computed under
+// RunMany's worker-pool parallelism are identical to serial Run calls —
+// goroutine scheduling must not leak into any Result, classic or sharded.
+func TestRunManyInterleavingIndependence(t *testing.T) {
+	cfgs := []Config{smallCfg(1), smallCfg(2), smallCfg(1), smallCfg(3)}
+	cfgs[2].Shards = 2 // one sharded run inside the parallel batch
+	batch, err := RunMany(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		solo, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], solo) {
+			t.Fatalf("cfg %d: RunMany result differs from serial Run", i)
+		}
+	}
+}
+
+func TestShardsValidation(t *testing.T) {
+	cfg := smallCfg(1)
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	cfg = smallCfg(1)
+	cfg.Shards = 2
+	cfg.Membership = MembershipCyclon
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("sharded Cyclon accepted (unsupported)")
+	}
+}
+
+// TestShardedBaselineDisseminates mirrors TestRunDisseminatesStream on
+// the sharded engine: the baseline scenario must deliver the stream to
+// essentially everyone.
+func TestShardedBaselineDisseminates(t *testing.T) {
+	cfg := smallCfg(5)
+	cfg.Nodes = 200
+	cfg.Shards = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.SurvivorQualities()
+	if got := metrics.MeanCompleteFraction(qs, metrics.InfiniteLag); got < 95 {
+		t.Fatalf("mean complete windows offline = %.1f%%, want >= 95%%", got)
+	}
+}
+
+// TestShardedCatastropheAndHeterogeneous runs the two remaining paper
+// scenarios on the sharded engine: a catastrophic burst kills the right
+// fraction, and a heterogeneous cap mix produces unequal uploads.
+func TestShardedCatastropheAndHeterogeneous(t *testing.T) {
+	cfg := smallCfg(7)
+	cfg.Nodes = 120
+	cfg.Shards = 3
+	cfg.UploadCapMix = []int64{400_000, 2_000_000}
+	cfg.Churn = ChurnAt(cfg.Layout.Duration()/2, 0.25)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for _, n := range res.Nodes {
+		if !n.Survived {
+			dead++
+		}
+	}
+	want := int(float64(cfg.Nodes-1)*0.25 + 0.5)
+	if dead != want {
+		t.Fatalf("catastrophe killed %d nodes, want %d", dead, want)
+	}
+	// A node's upload cannot breach its cap by more than slack.
+	for i, n := range res.Nodes {
+		capKbps := float64(cfg.UploadCapMix[i%2]) / 1000
+		if n.UploadKbps > capKbps*1.1 {
+			t.Fatalf("node %d uploaded %.0f kbps over a %.0f kbps cap", n.ID, n.UploadKbps, capKbps)
+		}
+	}
+}
+
+// ChurnAt adapts churn.Catastrophic without importing it in every test.
+func ChurnAt(at time.Duration, fraction float64) []churn.Event {
+	return []churn.Event{{At: at, Fraction: fraction}}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +80,14 @@ type Config struct {
 	// PSS parameterizes the Cyclon substrate when MembershipCyclon is
 	// selected; the zero value uses pss.DefaultConfig.
 	PSS pss.Config
+	// Shards selects the simulation engine. 0 (the default) runs the
+	// single-threaded kernel (internal/sim + internal/simnet), preserving
+	// the exact event orders of the paper-reproduction figures. Any value
+	// >= 1 runs the sharded engine (internal/megasim) with that many
+	// parallel shards — the scale path for 10k–100k+ node deployments.
+	// Results are deterministic for a fixed (Seed, Shards) pair but not
+	// bit-identical across engines or shard counts.
+	Shards int
 }
 
 // Defaults returns the paper's baseline configuration: 230 nodes, 600 kbps
@@ -140,6 +149,12 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("experiment: unknown membership %d", c.Membership)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("experiment: Shards = %d, want >= 0", c.Shards)
+	}
+	if c.Shards > 0 && c.Membership == MembershipCyclon {
+		return fmt.Errorf("experiment: the sharded engine does not support Cyclon membership yet (set Shards = 0)")
+	}
 	return nil
 }
 
@@ -189,18 +204,21 @@ func (r *Result) UploadDistribution() []float64 {
 	for _, n := range r.Nodes {
 		out = append(out, n.UploadKbps)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] > out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// O(n log n): the previous insertion sort was quadratic, which a
+	// 100k-node result turns into minutes.
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
 	return out
 }
 
-// Run executes one simulated deployment and collects metrics.
+// Run executes one simulated deployment and collects metrics. With
+// cfg.Shards > 0 the deployment runs on the sharded engine
+// (internal/megasim); otherwise on the single-threaded kernel.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 0 {
+		return runSharded(cfg)
 	}
 	sched := sim.New(cfg.Seed)
 	net := simnet.New(sched, cfg.Net)
@@ -243,14 +261,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		peers[i] = p
-		cap := cfg.UploadCapBps
-		switch {
-		case i == 0:
-			cap = cfg.SourceCapBps
-		case len(cfg.UploadCapMix) > 0:
-			cap = cfg.UploadCapMix[(i-1)%len(cfg.UploadCapMix)]
-		}
-		net.AddNode(dispatch{peer: p, pss: samplers[i]}, cap, cfg.QueueBytes)
+		net.AddNode(dispatch{peer: p, pss: samplers[i]}, nodeCap(cfg, i), cfg.QueueBytes)
 	}
 
 	for i, p := range peers {
@@ -266,46 +277,84 @@ func Run(cfg Config) (*Result, error) {
 	for _, ev := range cfg.Churn {
 		ev := ev
 		sched.At(ev.At, func() {
-			var eligible []wire.NodeID
-			for i := 1; i < cfg.Nodes; i++ {
-				if net.Alive(wire.NodeID(i)) {
-					eligible = append(eligible, wire.NodeID(i))
-				}
-			}
-			for _, victim := range churn.Pick(eligible, ev.Fraction, churnRng) {
-				net.Crash(victim)
-				peers[victim].Stop()
-				if samplers[victim] != nil {
-					samplers[victim].Stop()
-				}
-			}
+			crashBurst(net, peers, samplers, ev, churnRng)
 		})
 	}
 
 	end := cfg.Layout.Duration() + cfg.Drain
 	sched.RunUntil(end)
+	return collectResult(cfg, end, net, peers, sched.Fired()), nil
+}
 
+// substrate is the surface both simulation engines (simnet.Network and
+// megasim.Engine) expose for churn and result collection. Keeping the
+// shared logic below parameterized over it guarantees the two engines'
+// Results are assembled identically.
+type substrate interface {
+	Alive(wire.NodeID) bool
+	Crash(wire.NodeID)
+	BaseLatency(wire.NodeID) time.Duration
+	NodeStats(wire.NodeID) simnet.Stats
+}
+
+// nodeCap returns node i's upload cap: the source cap for node 0, the
+// heterogeneous mix when configured, the uniform cap otherwise.
+func nodeCap(cfg Config, i int) int64 {
+	switch {
+	case i == 0:
+		return cfg.SourceCapBps
+	case len(cfg.UploadCapMix) > 0:
+		return cfg.UploadCapMix[(i-1)%len(cfg.UploadCapMix)]
+	default:
+		return cfg.UploadCapBps
+	}
+}
+
+// crashBurst executes one churn event: victims are picked from the
+// non-source nodes still alive, crashed in the network, and their
+// protocol (and sampling, when present) state stopped. samplers may be
+// nil or hold nil entries.
+func crashBurst(eng substrate, peers []*core.Peer, samplers []*pss.Node, ev churn.Event, rng *rand.Rand) {
+	var eligible []wire.NodeID
+	for i := 1; i < len(peers); i++ {
+		if eng.Alive(wire.NodeID(i)) {
+			eligible = append(eligible, wire.NodeID(i))
+		}
+	}
+	for _, victim := range churn.Pick(eligible, ev.Fraction, rng) {
+		eng.Crash(victim)
+		peers[victim].Stop()
+		if samplers != nil && samplers[victim] != nil {
+			samplers[victim].Stop()
+		}
+	}
+}
+
+// collectResult assembles the Result every engine reports: source
+// counters plus one NodeResult per non-source node.
+func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.Peer, events uint64) *Result {
 	res := &Result{
 		Config:         cfg,
 		Duration:       end,
 		SourceCounters: peers[0].Counters(),
-		SourceStats:    net.NodeStats(0),
-		Events:         sched.Fired(),
+		SourceStats:    eng.NodeStats(0),
+		Events:         events,
 	}
+	res.Nodes = make([]NodeResult, 0, cfg.Nodes-1)
 	for i := 1; i < cfg.Nodes; i++ {
 		id := wire.NodeID(i)
-		stats := net.NodeStats(id)
+		stats := eng.NodeStats(id)
 		res.Nodes = append(res.Nodes, NodeResult{
 			ID:            id,
-			Survived:      net.Alive(id),
+			Survived:      eng.Alive(id),
 			Quality:       metrics.Evaluate(peers[i].Receiver(), cfg.Layout),
 			UploadKbps:    float64(stats.TotalSentBytes()) * 8 / end.Seconds() / 1000,
-			BaseLatencyMS: float64(net.BaseLatency(id)) / float64(time.Millisecond),
+			BaseLatencyMS: float64(eng.BaseLatency(id)) / float64(time.Millisecond),
 			Counters:      peers[i].Counters(),
 			Stats:         stats,
 		})
 	}
-	return res, nil
+	return res
 }
 
 // dispatch routes shuffle traffic to the sampling service and everything

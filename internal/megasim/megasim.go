@@ -1,0 +1,462 @@
+// Package megasim is a sharded discrete-event simulation engine for
+// internet-scale gossip experiments: it runs the same network model as
+// internal/simnet (capped drop-tail uplinks, heterogeneous lognormal
+// latencies, ambient UDP loss, crash failures) but partitions the nodes
+// across per-core shards so 100k+-node deployments complete in minutes
+// instead of hours.
+//
+// # Architecture
+//
+// Each shard owns a slice of the nodes, a private event scheduler, and a
+// private random stream. Shards advance together through conservative time
+// windows: the window length is the engine's lookahead — a lower bound on
+// the one-way latency of any message, derived from the latency model —
+// so an event executing anywhere inside the current window can only
+// produce cross-shard work for later windows. Within a window every shard
+// runs independently (no locks on the hot path); at the window barrier,
+// cross-shard messages are handed over through per-(source, destination)
+// outboxes and folded into the destination scheduler in (time, seq) order.
+//
+// # Determinism
+//
+// A run is a pure function of (seed, shard count, node/topology setup):
+//
+//   - every random draw comes from a per-shard or per-node stream, never
+//     from a source shared across goroutines;
+//   - each shard's scheduler is a strict (time, seq) priority queue, and
+//     cross-shard arrivals are merged at barriers in a fixed shard order,
+//     so sequence numbers — and therefore tie-breaks — never depend on
+//     goroutine interleaving;
+//   - global actions (churn bursts) run at barriers via AtBarrier, with
+//     every shard quiescent.
+//
+// Changing the shard count changes which RNG stream serves which draw, so
+// results are comparable but not bit-identical across shard counts; for a
+// fixed (seed, shards) pair they are bit-identical across runs and across
+// GOMAXPROCS settings.
+//
+// # Event representation
+//
+// Unlike internal/simnet, which allocates a closure and a heap node per
+// message, megasim stores events by value in a growable per-shard array
+// heap (one compact record per in-flight message, no per-event
+// allocation) and reuses outbox capacity across windows.
+package megasim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"gossipstream/internal/shaping"
+	"gossipstream/internal/simnet"
+	"gossipstream/internal/wire"
+)
+
+// NodeID identifies a node. IDs are dense, starting at 0, in AddNode order.
+type NodeID = wire.NodeID
+
+// Handler receives messages delivered to a node. It is structurally
+// identical to simnet.Handler so the same node logic drives both engines.
+type Handler interface {
+	HandleMessage(from NodeID, msg wire.Message)
+}
+
+// Config controls the engine. The network model is simnet's.
+type Config struct {
+	// Net carries the latency, jitter, and loss model. The engine requires
+	// PairSpread < 1 and JitterFrac < 1 so a positive latency lower bound
+	// (the lookahead) exists.
+	Net simnet.Config
+	// Shards is the number of parallel partitions, normally GOMAXPROCS.
+	Shards int
+	// Seed drives the engine's internal random streams (latency draws,
+	// per-message jitter and loss). Node logic carries its own streams.
+	Seed int64
+}
+
+// infTime is the maximum representable virtual time, used as "no event".
+const infTime = time.Duration(1<<63 - 1)
+
+type nodeState struct {
+	handler Handler
+	uplink  shaping.Shaper
+	base    time.Duration
+	alive   bool
+	// stats is written only by the node's own shard (sends from the node,
+	// deliveries to the node), never concurrently.
+	stats simnet.Stats
+}
+
+type globalEvent struct {
+	at time.Duration
+	fn func()
+}
+
+// Engine is a sharded simulation of a message-passing network. Build it
+// single-threaded (New, AddNode, AtBarrier, Start-ing node logic), then
+// call Run once. Accessors are safe again after Run returns.
+type Engine struct {
+	cfg       Config
+	shards    []*shard
+	nodes     []nodeState
+	setup     *rand.Rand
+	pairSalt  uint64
+	lookahead time.Duration
+	globals   []globalEvent
+	now       time.Duration
+	running   bool
+	ran       bool
+
+	phaseWg  sync.WaitGroup
+	workerWg sync.WaitGroup
+}
+
+// New returns an empty engine with the given shard count.
+func New(cfg Config) (*Engine, error) {
+	switch {
+	case cfg.Shards < 1:
+		return nil, fmt.Errorf("megasim: Shards = %d, want >= 1", cfg.Shards)
+	case cfg.Net.LossRate < 0 || cfg.Net.LossRate >= 1:
+		return nil, fmt.Errorf("megasim: LossRate = %v, want [0,1)", cfg.Net.LossRate)
+	case cfg.Net.PairSpread < 0 || cfg.Net.PairSpread >= 1:
+		return nil, fmt.Errorf("megasim: PairSpread = %v, want [0,1)", cfg.Net.PairSpread)
+	case cfg.Net.JitterFrac < 0 || cfg.Net.JitterFrac >= 1:
+		return nil, fmt.Errorf("megasim: JitterFrac = %v, want [0,1)", cfg.Net.JitterFrac)
+	case cfg.Net.BaseLatencySigma < 0:
+		return nil, fmt.Errorf("megasim: BaseLatencySigma = %v, want >= 0", cfg.Net.BaseLatencySigma)
+	}
+	e := &Engine{cfg: cfg, setup: NewRand(cfg.Seed)}
+	e.pairSalt = e.setup.Uint64()
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i, NewRand(cfg.Seed+0x5DEECE66D*int64(i+1)))
+	}
+	return e, nil
+}
+
+// AddNode registers a node with the given upload cap (bits per second;
+// shaping.Unlimited for none) and uplink queue bound in bytes, drawing its
+// base latency from the configured distribution. Nodes are assigned to
+// shards round-robin by id.
+func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
+	if h == nil {
+		panic("megasim: nil handler")
+	}
+	if e.ran || e.running {
+		panic("megasim: AddNode after Run")
+	}
+	id := NodeID(len(e.nodes))
+	base := e.cfg.Net.BaseLatencyMedian
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if e.cfg.Net.BaseLatencySigma > 0 {
+		factor := math.Exp(e.setup.NormFloat64() * e.cfg.Net.BaseLatencySigma)
+		base = time.Duration(float64(base) * factor)
+	}
+	var up shaping.Shaper
+	if upBps != shaping.Unlimited {
+		up = *shaping.NewShaper(upBps, queueBytes)
+	}
+	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
+	return id
+}
+
+// N returns the number of nodes ever added.
+func (e *Engine) N() int { return len(e.nodes) }
+
+// Shards returns the configured shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Now returns the engine's global safe time (the start of the current
+// window; all events before it have executed).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Lookahead returns the conservative window length computed by Run (zero
+// before Run).
+func (e *Engine) Lookahead() time.Duration { return e.lookahead }
+
+// Alive reports whether the node is up.
+func (e *Engine) Alive(id NodeID) bool { return e.node(id).alive }
+
+// Crash silences a node: it stops sending and receiving. Only legal during
+// setup or inside an AtBarrier callback (shards are quiescent there).
+func (e *Engine) Crash(id NodeID) { e.node(id).alive = false }
+
+// BaseLatency returns the node's drawn base latency.
+func (e *Engine) BaseLatency(id NodeID) time.Duration { return e.node(id).base }
+
+// NodeStats returns a snapshot of the node's traffic counters. The
+// counters mirror simnet's, with one attribution difference: DeadDrops —
+// messages discarded because an endpoint crashed before delivery — are
+// counted on the receiving node (delivery is the only point where the
+// destination shard owns the check), not the sender.
+func (e *Engine) NodeStats(id NodeID) simnet.Stats { return e.node(id).stats }
+
+// TotalStats aggregates every node's traffic counters.
+func (e *Engine) TotalStats() simnet.Stats {
+	var t simnet.Stats
+	for i := range e.nodes {
+		t.Add(e.nodes[i].stats)
+	}
+	return t
+}
+
+// Fired reports how many events have executed across all shards.
+func (e *Engine) Fired() uint64 {
+	var t uint64
+	for _, s := range e.shards {
+		t += s.fired
+	}
+	return t
+}
+
+// AtBarrier schedules fn to run at virtual time t with every shard
+// quiescent: all events before t have executed, none at or after t has.
+// Callbacks may inspect or mutate any node (Crash, stopping node logic).
+// Events at exactly t run after the callback. Only legal before Run.
+func (e *Engine) AtBarrier(t time.Duration, fn func()) {
+	if t < 0 {
+		panic(fmt.Sprintf("megasim: barrier at negative time %v", t))
+	}
+	if e.ran || e.running {
+		panic("megasim: AtBarrier after Run")
+	}
+	e.globals = append(e.globals, globalEvent{at: t, fn: fn})
+}
+
+// NodeEnv returns the node's simulation environment: an implementation of
+// the engine-facing Env contract (ID/Now/Send/After/Rand) used by
+// internal/core. rng is the node's private random stream; the caller
+// guarantees it is used by this node only.
+//
+// NodeEnv may be called before the node is added (ids are dense and
+// assigned in AddNode order), which lets node logic and its environment be
+// constructed together.
+func (e *Engine) NodeEnv(id NodeID, rng *rand.Rand) *NodeEnv {
+	return &NodeEnv{eng: e, sh: e.shards[int(id)%len(e.shards)], id: id, rng: rng}
+}
+
+// minBase returns the smallest drawn base latency across all nodes.
+func (e *Engine) minBase() time.Duration {
+	min := infTime
+	for i := range e.nodes {
+		if e.nodes[i].base < min {
+			min = e.nodes[i].base
+		}
+	}
+	return min
+}
+
+// Run executes the simulation up to and including virtual time until,
+// mirroring sim.Scheduler.RunUntil. It can be called once per engine.
+func (e *Engine) Run(until time.Duration) error {
+	if e.ran {
+		return fmt.Errorf("megasim: Run called twice")
+	}
+	e.ran = true
+	if until < 0 {
+		return fmt.Errorf("megasim: Run until %v, want >= 0", until)
+	}
+	if len(e.nodes) > 0 {
+		// Lookahead: no message can arrive sooner than the smallest pair
+		// latency, which the model bounds below by the smallest node base
+		// scaled by the worst-case spread and jitter factors.
+		l := time.Duration(float64(e.minBase()) * (1 - e.cfg.Net.PairSpread) * (1 - e.cfg.Net.JitterFrac))
+		if l <= 0 {
+			return fmt.Errorf("megasim: non-positive lookahead %v (base latencies must be positive, PairSpread and JitterFrac < 1)", l)
+		}
+		e.lookahead = l
+	} else {
+		e.lookahead = time.Millisecond
+	}
+	sort.SliceStable(e.globals, func(i, j int) bool { return e.globals[i].at < e.globals[j].at })
+
+	parallel := len(e.shards) > 1
+	if parallel {
+		e.workerWg.Add(len(e.shards))
+		for _, s := range e.shards {
+			go s.work()
+		}
+	}
+	e.running = true
+
+	if parallel {
+		// Fold any deliveries emitted during setup into the shard heaps so
+		// the first next-event scan sees them.
+		e.phase(opMerge, 0)
+	}
+
+	// horizon is one past the inclusive deadline: windows are half-open,
+	// so events at exactly `until` execute in a final [until, until+1)
+	// window, matching the single-threaded kernel's RunUntil semantics.
+	horizon := until + 1
+	gi := 0
+	for {
+		t0 := infTime
+		for _, s := range e.shards {
+			if at, ok := s.nextAt(); ok && at < t0 {
+				t0 = at
+			}
+		}
+		tg := infTime
+		if gi < len(e.globals) && e.globals[gi].at <= until {
+			tg = e.globals[gi].at
+		}
+		if tg <= t0 && tg != infTime {
+			// No shard event precedes the barrier callback: run it now.
+			if tg > e.now {
+				e.now = tg
+			}
+			for gi < len(e.globals) && e.globals[gi].at == tg {
+				e.globals[gi].fn()
+				gi++
+			}
+			continue
+		}
+		if t0 >= horizon {
+			break
+		}
+		wEnd := horizon
+		if parallel && t0 <= horizon-e.lookahead {
+			wEnd = t0 + e.lookahead
+		}
+		if tg < wEnd {
+			wEnd = tg
+		}
+		if parallel {
+			e.phase(opRun, wEnd)
+			e.phase(opMerge, 0)
+		} else {
+			e.shards[0].runWindow(wEnd)
+		}
+		e.now = wEnd
+	}
+
+	e.running = false
+	if parallel {
+		for _, s := range e.shards {
+			close(s.cmds)
+		}
+		e.workerWg.Wait()
+	}
+	for _, s := range e.shards {
+		if s.now < until {
+			s.now = until
+		}
+	}
+	e.now = until
+	return nil
+}
+
+// phase broadcasts one barrier-delimited phase to every shard and waits
+// for all of them to finish it.
+func (e *Engine) phase(op uint8, t time.Duration) {
+	e.phaseWg.Add(len(e.shards))
+	for _, s := range e.shards {
+		s.cmds <- shardCmd{op: op, t: t}
+	}
+	e.phaseWg.Wait()
+}
+
+// send transmits msg with the same UDP semantics as simnet.Send: drop-tail
+// congestion at the sender's shaped uplink, Bernoulli loss, crash
+// silences. It executes on the sending node's shard.
+func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
+	if int(to) < 0 || int(to) >= len(e.nodes) {
+		panic(fmt.Sprintf("megasim: unknown node %d", to))
+	}
+	src := e.node(from)
+	if !src.alive {
+		return
+	}
+	// Like simnet: the bandwidth limiter throttles application bytes only.
+	size := msg.WireSize() - wire.UDPOverheadBytes
+	now := sh.now
+	depart, ok := src.uplink.Enqueue(now, size)
+	if !ok {
+		src.stats.CongestionDrops++
+		return
+	}
+	k := msg.Kind()
+	src.stats.SentMsgs[k]++
+	src.stats.SentBytes[k] += uint64(size)
+	if e.cfg.Net.LossRate > 0 && sh.rng.Float64() < e.cfg.Net.LossRate {
+		src.stats.RandomDrops++
+		return
+	}
+	at := depart + e.pairLatency(sh, from, to)
+	d := int(to) % len(e.shards)
+	if d == sh.id {
+		sh.pushDelivery(at, from, to, int32(size), msg)
+	} else {
+		sh.outbox[d] = append(sh.outbox[d], xmsg{at: at, from: from, to: to, size: int32(size), msg: msg})
+	}
+}
+
+// deliver hands a message to its destination. It executes on the
+// destination node's shard; the sender's liveness flag is stable between
+// barriers, so the cross-shard read is race-free.
+func (e *Engine) deliver(ev *event) {
+	src, dst := &e.nodes[ev.from], &e.nodes[ev.to]
+	if !src.alive || !dst.alive {
+		dst.stats.DeadDrops++
+		return
+	}
+	k := ev.msg.Kind()
+	dst.stats.RecvMsgs[k]++
+	dst.stats.RecvBytes[k] += uint64(ev.size)
+	dst.handler.HandleMessage(ev.from, ev.msg)
+}
+
+// pairLatency mirrors simnet's latency model: the mean of the node bases,
+// scaled by the ordered pair's fixed spread factor, plus per-message
+// jitter drawn from the executing shard's stream.
+func (e *Engine) pairLatency(sh *shard, a, b NodeID) time.Duration {
+	base := float64(e.nodes[a].base+e.nodes[b].base) / 2
+	if e.cfg.Net.PairSpread > 0 {
+		base *= simnet.PairFactor(e.pairSalt, a, b, e.cfg.Net.PairSpread)
+	}
+	if e.cfg.Net.JitterFrac > 0 {
+		base *= 1 + e.cfg.Net.JitterFrac*(2*sh.rng.Float64()-1)
+	}
+	if base < 0 {
+		base = 0
+	}
+	return time.Duration(base)
+}
+
+func (e *Engine) node(id NodeID) *nodeState {
+	if int(id) < 0 || int(id) >= len(e.nodes) {
+		panic(fmt.Sprintf("megasim: unknown node %d", id))
+	}
+	return &e.nodes[id]
+}
+
+// NodeEnv adapts one node to the engine. It satisfies core.Env.
+type NodeEnv struct {
+	eng *Engine
+	sh  *shard
+	id  NodeID
+	rng *rand.Rand
+}
+
+// ID returns the node id.
+func (v *NodeEnv) ID() NodeID { return v.id }
+
+// Now returns the node's shard-local virtual time.
+func (v *NodeEnv) Now() time.Duration { return v.sh.now }
+
+// Rand returns the node's private random stream.
+func (v *NodeEnv) Rand() *rand.Rand { return v.rng }
+
+// Send transmits a message with UDP semantics.
+func (v *NodeEnv) Send(to NodeID, msg wire.Message) { v.eng.send(v.sh, v.id, to, msg) }
+
+// After schedules fn once after d on the node's shard; the returned
+// function cancels it.
+func (v *NodeEnv) After(d time.Duration, fn func()) func() { return v.sh.after(d, fn) }

@@ -1,0 +1,245 @@
+package megasim
+
+import (
+	"math/rand"
+	"time"
+
+	"gossipstream/internal/wire"
+)
+
+// event is one scheduled occurrence, stored by value in the shard heap: a
+// timer (fn != nil) or a message delivery. Compared to simnet's
+// closure-per-message representation this is a single flat record, so the
+// per-message cost is a heap slot, not two heap allocations.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	timerID uint64
+	from    NodeID
+	to      NodeID
+	size    int32
+	fn      func()       // nil for deliveries
+	msg     wire.Message // nil for timers
+}
+
+// xmsg is a cross-shard delivery in transit through an outbox.
+type xmsg struct {
+	at   time.Duration
+	from NodeID
+	to   NodeID
+	size int32
+	msg  wire.Message
+}
+
+const (
+	opRun uint8 = iota
+	opMerge
+)
+
+type shardCmd struct {
+	op uint8
+	t  time.Duration
+}
+
+// shard owns a partition of the nodes: their scheduler, random stream,
+// and pending events. Between barriers only the shard's own goroutine
+// touches its state.
+type shard struct {
+	id  int
+	eng *Engine
+	rng *rand.Rand
+	now time.Duration
+
+	heap  []event
+	seq   uint64
+	fired uint64
+
+	nextTimer uint64
+	cancelled map[uint64]struct{}
+
+	// outbox[d] buffers deliveries destined for shard d during the current
+	// window; shard d drains (and resets) it during the merge phase, so
+	// ownership alternates across the barrier. Capacity is reused.
+	outbox [][]xmsg
+
+	cmds chan shardCmd
+}
+
+func newShard(e *Engine, id int, rng *rand.Rand) *shard {
+	return &shard{
+		id:        id,
+		eng:       e,
+		rng:       rng,
+		cancelled: make(map[uint64]struct{}),
+		outbox:    make([][]xmsg, e.cfg.Shards),
+		cmds:      make(chan shardCmd, 1),
+	}
+}
+
+// work is the shard goroutine: it executes barrier-delimited phases until
+// the command channel closes.
+func (s *shard) work() {
+	for cmd := range s.cmds {
+		switch cmd.op {
+		case opRun:
+			s.runWindow(cmd.t)
+		case opMerge:
+			s.mergeInbound()
+		}
+		s.eng.phaseWg.Done()
+	}
+	s.eng.workerWg.Done()
+}
+
+// runWindow executes every local event with timestamp strictly before end.
+// Events scheduled mid-window (timers, same-shard deliveries) run in the
+// same window when they fall before end.
+func (s *shard) runWindow(end time.Duration) {
+	for len(s.heap) > 0 && s.heap[0].at < end {
+		ev := s.pop()
+		if ev.fn != nil {
+			if len(s.cancelled) > 0 {
+				if _, dead := s.cancelled[ev.timerID]; dead {
+					delete(s.cancelled, ev.timerID)
+					continue
+				}
+			}
+			s.now = ev.at
+			s.fired++
+			ev.fn()
+		} else {
+			s.now = ev.at
+			s.fired++
+			s.eng.deliver(&ev)
+		}
+	}
+}
+
+// mergeInbound folds deliveries addressed to this shard into its heap.
+// Sources are visited in shard order and each outbox preserves send
+// order, so the sequence numbers assigned here — the tie-break for
+// same-instant events — are independent of goroutine interleaving.
+func (s *shard) mergeInbound() {
+	for _, src := range s.eng.shards {
+		q := src.outbox[s.id]
+		if len(q) == 0 {
+			continue
+		}
+		for i := range q {
+			m := &q[i]
+			s.pushDelivery(m.at, m.from, m.to, m.size, m.msg)
+		}
+		clear(q) // drop message references so capacity reuse does not pin them
+		src.outbox[s.id] = q[:0]
+	}
+}
+
+// nextAt returns the timestamp of the earliest pending event.
+func (s *shard) nextAt() (time.Duration, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// after schedules fn at now+d on this shard and returns a cancel func.
+// Cancellation is lazy: the timer id is tombstoned and the entry skipped
+// when popped.
+func (s *shard) after(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	id := s.nextTimer
+	s.nextTimer++
+	s.push(event{at: s.now + d, timerID: id, fn: fn})
+	done := false
+	return func() {
+		if !done {
+			done = true
+			s.cancelled[id] = struct{}{}
+		}
+	}
+}
+
+// pushDelivery schedules a message delivery at the given time.
+func (s *shard) pushDelivery(at time.Duration, from, to NodeID, size int32, msg wire.Message) {
+	s.push(event{at: at, from: from, to: to, size: size, msg: msg})
+}
+
+// The scheduler is a 4-ary min-heap over (at, seq): half the depth of a
+// binary heap and contiguous children, which matters when the heap holds
+// tens of thousands of 64-byte in-flight events. Sift operations use hole
+// insertion (shift entries toward the hole, write the moving element
+// once) instead of pairwise swaps.
+
+// push inserts ev into the heap, assigning its sequence number.
+func (s *shard) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	s.heap = append(s.heap, ev)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// pop removes and returns the earliest event.
+func (s *shard) pop() event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/msg references
+	s.heap = h[:n]
+	if n > 0 {
+		h[0] = last
+		s.siftDown(0)
+	}
+	return top
+}
+
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *shard) siftUp(i int) {
+	h := s.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !evLess(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+func (s *shard) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !evLess(&h[m], &ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+}

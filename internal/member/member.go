@@ -73,6 +73,66 @@ func (v *FullView) Sample(k int) []wire.NodeID {
 	return out
 }
 
+// SparseView is a Sampler over static global membership [0, n) minus self
+// that stores O(1) state instead of FullView's O(n) permutation array —
+// at 100k+ nodes the per-node array would dominate all memory. Samples are
+// drawn by rejection, which is cheap while k ≪ n; for tiny systems
+// (k close to n) it degrades gracefully by enumerating.
+type SparseView struct {
+	self wire.NodeID
+	n    int
+	rng  *rand.Rand
+}
+
+// NewSparseView returns a constant-memory full-membership sampler for a
+// system of n nodes.
+func NewSparseView(self wire.NodeID, n int, rng *rand.Rand) *SparseView {
+	if n <= 0 {
+		panic(fmt.Sprintf("member: system size %d", n))
+	}
+	return &SparseView{self: self, n: n, rng: rng}
+}
+
+// Sample implements Sampler.
+func (v *SparseView) Sample(k int) []wire.NodeID {
+	if k > v.n-1 {
+		k = v.n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k*2 >= v.n {
+		// Dense request: partial Fisher–Yates over an explicit candidate
+		// list (rejection would thrash once most ids are taken).
+		all := make([]wire.NodeID, 0, v.n-1)
+		for i := 0; i < v.n; i++ {
+			if wire.NodeID(i) != v.self {
+				all = append(all, wire.NodeID(i))
+			}
+		}
+		for i := 0; i < k; i++ {
+			j := i + v.rng.Intn(len(all)-i)
+			all[i], all[j] = all[j], all[i]
+		}
+		return all[:k]
+	}
+	out := make([]wire.NodeID, 0, k)
+draw:
+	for len(out) < k {
+		id := wire.NodeID(v.rng.Intn(v.n))
+		if id == v.self {
+			continue
+		}
+		for _, got := range out {
+			if got == id {
+				continue draw
+			}
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
 // View yields the communication partners for each gossip round, applying
 // the refresh-rate knob X and feed-me insertions.
 type View struct {

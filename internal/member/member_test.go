@@ -242,3 +242,85 @@ func contains(s []wire.NodeID, id wire.NodeID) bool {
 	}
 	return false
 }
+
+func TestSparseViewExcludesSelfAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewSparseView(5, 1000, rng)
+	for trial := 0; trial < 200; trial++ {
+		got := v.Sample(7)
+		if len(got) != 7 {
+			t.Fatalf("len = %d, want 7", len(got))
+		}
+		seen := map[wire.NodeID]bool{}
+		for _, id := range got {
+			if id == 5 {
+				t.Fatal("sample contains self")
+			}
+			if id < 0 || id >= 1000 {
+				t.Fatalf("sample contains out-of-range id %d", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSparseViewClampsToPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewSparseView(0, 5, rng)
+	got := v.Sample(10)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4 (population minus self)", len(got))
+	}
+	if v.Sample(0) != nil {
+		t.Fatal("Sample(0) should be nil")
+	}
+}
+
+func TestSparseViewDensePathExcludesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := NewSparseView(2, 6, rng)
+	for trial := 0; trial < 100; trial++ {
+		got := v.Sample(4) // 2k >= n: Fisher–Yates path
+		seen := map[wire.NodeID]bool{}
+		for _, id := range got {
+			if id == 2 || seen[id] {
+				t.Fatalf("bad dense sample %v", got)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSparseViewUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 50
+	v := NewSparseView(0, n, rng)
+	counts := make([]int, n)
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		for _, id := range v.Sample(5) {
+			counts[id]++
+		}
+	}
+	want := float64(rounds*5) / float64(n-1)
+	for id := 1; id < n; id++ {
+		if f := float64(counts[id]); f < want*0.9 || f > want*1.1 {
+			t.Fatalf("node %d drawn %v times, want ≈ %v", id, f, want)
+		}
+	}
+	if counts[0] != 0 {
+		t.Fatal("self was drawn")
+	}
+}
+
+func TestSparseViewInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewSparseView(0, 0, rand.New(rand.NewSource(1)))
+}

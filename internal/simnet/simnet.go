@@ -97,6 +97,27 @@ func (s Stats) TotalRecvBytes() uint64 {
 	return t
 }
 
+// Drops returns the total number of messages dropped rather than
+// delivered: congestion at the sender's uplink, Bernoulli (UDP) loss, and
+// crashed endpoints. Nothing in the network drops silently — every lost
+// message lands in exactly one of those counters.
+func (s Stats) Drops() uint64 {
+	return s.CongestionDrops + s.RandomDrops + s.DeadDrops
+}
+
+// Add accumulates o's counters into s, for network-wide aggregation.
+func (s *Stats) Add(o Stats) {
+	for k := 0; k < wire.KindCount; k++ {
+		s.SentMsgs[k] += o.SentMsgs[k]
+		s.SentBytes[k] += o.SentBytes[k]
+		s.RecvMsgs[k] += o.RecvMsgs[k]
+		s.RecvBytes[k] += o.RecvBytes[k]
+	}
+	s.CongestionDrops += o.CongestionDrops
+	s.RandomDrops += o.RandomDrops
+	s.DeadDrops += o.DeadDrops
+}
+
 type endpoint struct {
 	id      NodeID
 	handler Handler
@@ -173,6 +194,16 @@ func (n *Network) BaseLatency(id NodeID) time.Duration { return n.ep(id).base }
 // NodeStats returns a snapshot of the node's traffic counters.
 func (n *Network) NodeStats(id NodeID) Stats { return n.ep(id).stats }
 
+// TotalStats aggregates every node's traffic counters — the network-wide
+// sent/received/dropped totals.
+func (n *Network) TotalStats() Stats {
+	var t Stats
+	for _, ep := range n.nodes {
+		t.Add(ep.stats)
+	}
+	return t
+}
+
 // UplinkBacklog reports the current queueing delay of a node's uplink.
 func (n *Network) UplinkBacklog(id NodeID) time.Duration {
 	return n.ep(id).uplink.Backlog(n.sched.Now())
@@ -237,14 +268,22 @@ func (n *Network) pairLatency(a, b *endpoint) time.Duration {
 // pairFactor returns the deterministic latency factor of an ordered pair,
 // uniform in [1-PairSpread, 1+PairSpread].
 func (n *Network) pairFactor(a, b NodeID) float64 {
-	x := n.pairSalt ^ uint64(uint32(a))<<32 ^ uint64(uint32(b))
-	// splitmix64 finalizer for a well-mixed 64-bit hash.
+	return PairFactor(n.pairSalt, a, b, n.cfg.PairSpread)
+}
+
+// PairFactor is the deterministic per-pair latency factor shared by both
+// simulation engines (this package and internal/megasim): a splitmix64
+// finalizer over the salted ordered pair, mapped uniformly onto
+// [1-spread, 1+spread]. Keeping one implementation guarantees the two
+// engines model the same network.
+func PairFactor(salt uint64, a, b NodeID, spread float64) float64 {
+	x := salt ^ uint64(uint32(a))<<32 ^ uint64(uint32(b))
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
 	u := float64(x>>11) / float64(1<<53) // [0,1)
-	return 1 + n.cfg.PairSpread*(2*u-1)
+	return 1 + spread*(2*u-1)
 }
 
 func (n *Network) ep(id NodeID) *endpoint {

@@ -322,3 +322,59 @@ func TestShuffleTrafficAccounted(t *testing.T) {
 		t.Fatalf("shuffle sends = %d, want 1", got)
 	}
 }
+
+func TestTotalStatsAggregatesDrops(t *testing.T) {
+	sched := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.LossRate = 0 // isolate congestion and dead drops
+	net := New(sched, cfg)
+	a := net.AddNode(&recorder{sched: sched}, 8_000, 20) // tiny uplink: bursts overflow
+	b := net.AddNode(&recorder{sched: sched}, shaping.Unlimited, 0)
+	c := net.AddNode(&recorder{sched: sched}, shaping.Unlimited, 0)
+
+	sched.At(0, func() {
+		for i := 0; i < 30; i++ {
+			net.Send(a, b, wire.FeedMe{})
+		}
+	})
+	// c's message is in flight when c... the destination b crashes.
+	sched.At(time.Millisecond, func() { net.Send(c, b, wire.FeedMe{}) })
+	sched.At(2*time.Millisecond, func() { net.Crash(b) })
+	sched.Run()
+
+	sa, sc := net.NodeStats(a), net.NodeStats(c)
+	if sa.CongestionDrops == 0 {
+		t.Fatal("expected congestion drops on the tiny uplink")
+	}
+	if sc.DeadDrops != 1 {
+		t.Fatalf("DeadDrops = %d, want 1", sc.DeadDrops)
+	}
+	if got := sa.Drops(); got != sa.CongestionDrops+sa.RandomDrops+sa.DeadDrops {
+		t.Fatalf("Drops() = %d, inconsistent with counters", got)
+	}
+
+	total := net.TotalStats()
+	var want Stats
+	for id := 0; id < net.N(); id++ {
+		want.Add(net.NodeStats(wire.NodeID(id)))
+	}
+	if total != want {
+		t.Fatal("TotalStats does not equal the sum of NodeStats")
+	}
+	// a's accepted sends were still serializing when b crashed, so they
+	// count as DeadDrops on a alongside c's single in-flight message.
+	if total.CongestionDrops != sa.CongestionDrops || total.DeadDrops != sa.DeadDrops+sc.DeadDrops {
+		t.Fatal("aggregate drop counters lost node contributions")
+	}
+	// Conservation: every accepted send is delivered or accounted as lost.
+	sentMsgs := uint64(0)
+	recvMsgs := uint64(0)
+	for k := 0; k < wire.KindCount; k++ {
+		sentMsgs += total.SentMsgs[k]
+		recvMsgs += total.RecvMsgs[k]
+	}
+	if sentMsgs != recvMsgs+total.RandomDrops+total.DeadDrops {
+		t.Fatalf("conservation violated: sent %d != recv %d + lost %d",
+			sentMsgs, recvMsgs, total.RandomDrops+total.DeadDrops)
+	}
+}

@@ -357,22 +357,28 @@ func SplitIDs(ids []stream.PacketID) [][]stream.PacketID {
 // the MTU. A single oversized packet still yields its own message (the
 // transport will fragment); with the paper's 1250-byte payloads this never
 // happens.
+//
+// All returned messages share one freshly allocated backing array — two
+// allocations per call however many batches result — because simulations
+// at 100k+ nodes create millions of SERVEs and the per-batch slices were
+// a top allocation site.
 func SplitServe(packets []*stream.Packet) []Serve {
+	if len(packets) == 0 {
+		return nil
+	}
+	all := make([]*stream.Packet, len(packets))
+	copy(all, packets)
 	var out []Serve
-	cur := Serve{}
+	start := 0
 	size := headerBytes
-	for _, p := range packets {
+	for i, p := range all {
 		psize := packetHeaderBytes + len(p.Payload)
-		if len(cur.Packets) > 0 && size+psize > MTUBytes {
-			out = append(out, cur)
-			cur = Serve{}
+		if i > start && size+psize > MTUBytes {
+			out = append(out, Serve{Packets: all[start:i:i]})
+			start = i
 			size = headerBytes
 		}
-		cur.Packets = append(cur.Packets, p)
 		size += psize
 	}
-	if len(cur.Packets) > 0 {
-		out = append(out, cur)
-	}
-	return out
+	return append(out, Serve{Packets: all[start:]})
 }
