@@ -13,16 +13,23 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"gossipstream/internal/experiment"
 )
 
 // simulatedScale is the virtual duration of every scale benchmark.
 const simulatedScale = 30 * time.Second
 
 func benchMegasim(b *testing.B, nodes, shards int) {
+	benchMegasimMembership(b, nodes, shards, MembershipFull)
+}
+
+func benchMegasimMembership(b *testing.B, nodes, shards int, m experiment.Membership) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := ScaledExperiment(nodes, shards, simulatedScale)
 		cfg.Seed = 1
+		cfg.Membership = m
 		res, err := RunExperiment(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -38,6 +45,24 @@ func benchMegasim(b *testing.B, nodes, shards int) {
 
 func BenchmarkMegasim2kShards1(b *testing.B) { benchMegasim(b, 2_000, 1) }
 func BenchmarkMegasim2kShards8(b *testing.B) { benchMegasim(b, 2_000, 8) }
+
+// BenchmarkMegasim*Cyclon* mirror the full-view scenarios with Cyclon
+// partial-view membership (pss.State records on the sharded engine):
+// cmd/benchjson pairs each with its full-view counterpart and records the
+// overhead of realistic membership in BENCH_sim.json.
+func BenchmarkMegasim2kCyclonShards1(b *testing.B) {
+	benchMegasimMembership(b, 2_000, 1, MembershipCyclon)
+}
+func BenchmarkMegasim2kCyclonShards8(b *testing.B) {
+	benchMegasimMembership(b, 2_000, 8, MembershipCyclon)
+}
+
+func BenchmarkMegasim10kCyclonShards8(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimMembership(b, 10_000, 8, MembershipCyclon)
+}
 
 func BenchmarkMegasim10kShards1(b *testing.B) {
 	if testing.Short() {

@@ -46,6 +46,10 @@ type Report struct {
 	Short         bool               `json:"short"`
 	Results       []Result           `json:"results"`
 	Speedups      map[string]float64 `json:"megasim_shard_speedups,omitempty"`
+	// CyclonOverheads records, per megasim scenario, the wall-time ratio
+	// of the Cyclon partial-view run over its full-view (SparseView)
+	// counterpart — the cost of realistic membership at scale.
+	CyclonOverheads map[string]float64 `json:"megasim_cyclon_overheads,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -130,6 +134,7 @@ func run(bench, pkg, out string, timeout time.Duration, short bool) error {
 		return fmt.Errorf("no benchmark results matched %q", bench)
 	}
 	rep.Speedups = speedups(rep.Results)
+	rep.CyclonOverheads = cyclonOverheads(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -158,6 +163,36 @@ func speedups(results []Result) map[string]float64 {
 		}
 		if eight, ok := byName[base+"Shards8"]; ok && eight > 0 {
 			out[base] = one / eight
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// cyclonOverheads derives cyclon-over-full wall-time ratios per
+// scenario, pairing each "...Cyclon..." result with its full-view
+// counterpart: the same name minus the marker
+// ("Megasim2kCyclonShards1" / "Megasim2kShards1") or with the marker
+// replaced by "Full" ("AblationMembershipCyclonSharded" /
+// "AblationMembershipFullSharded").
+func cyclonOverheads(results []Result) map[string]float64 {
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	out := map[string]float64{}
+	for name, cyclon := range byName {
+		if !strings.Contains(name, "Cyclon") {
+			continue
+		}
+		for _, counterpart := range []string{"", "Full"} {
+			base := strings.Replace(name, "Cyclon", counterpart, 1)
+			if full, ok := byName[base]; ok && full > 0 {
+				out[name] = cyclon / full
+				break
+			}
 		}
 	}
 	if len(out) == 0 {

@@ -1,14 +1,16 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation section and writes them to text files (plus stdout).
 //
-//	figures            # full paper scale (230 nodes, ≈212 s streams)
-//	figures -scale 0.2 # quick pass at reduced scale
-//	figures -only 1,2  # selected figures
+//	figures                         # full paper scale (230 nodes, ≈212 s streams)
+//	figures -scale 0.2              # quick pass at reduced scale
+//	figures -only 1,2               # selected figures
+//	figures -only 1 -nodes 10000 -shards 8   # fanout sweep at 10k nodes (sharded engine)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,26 +21,50 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		scale  = flag.Float64("scale", 1.0, "scale factor for nodes and stream length (0,1]")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		outDir = flag.String("out", "figures", "directory for figure text files")
-		only   = flag.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
+		scale  = fs.Float64("scale", 1.0, "scale factor for nodes and stream length (0,1]")
+		seed   = fs.Int64("seed", 1, "simulation seed")
+		nodes  = fs.Int("nodes", 0, "override system size (0 = paper scale; the sweeps' scale axis)")
+		shards = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		outDir = fs.String("out", "figures", "directory for figure text files")
+		only   = fs.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: want >= 0", *shards)
+	}
+	if *nodes < 0 {
+		return fmt.Errorf("-nodes %d: want >= 0", *nodes)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
 	base := gossipstream.DefaultExperiment()
 	base.Seed = *seed
+	// -nodes and -shards re-run the sweeps beyond the paper's 230-node
+	// testbed on the sharded engine (ROADMAP: the Figure 1/3 scale axis).
+	if *nodes > 0 {
+		base.Nodes = *nodes
+	}
+	base.Shards = *shards
 	opts := gossipstream.FigureOptions{Base: &base, Scale: *scale}
 
 	selected := map[string]bool{}
@@ -56,7 +82,7 @@ func run() error {
 		if chart := chartOf(tb); chart != "" {
 			text += "\n" + chart
 		}
-		fmt.Println(text)
+		fmt.Fprintln(out, text)
 		return os.WriteFile(filepath.Join(*outDir, name), []byte(text), 0o644)
 	}
 
@@ -64,7 +90,7 @@ func run() error {
 
 	var fig1Results []*gossipstream.ExperimentResult
 	if want("1") || want("2") {
-		fmt.Println("running figure 1 (fanout sweep, 700 kbps)...")
+		fmt.Fprintln(out, "running figure 1 (fanout sweep, 700 kbps)...")
 		tb, results, err := gossipstream.Figure1(opts, nil)
 		if err != nil {
 			return err
@@ -77,7 +103,7 @@ func run() error {
 		}
 	}
 	if want("2") {
-		fmt.Println("running figure 2 (lag CDF)...")
+		fmt.Fprintln(out, "running figure 2 (lag CDF)...")
 		tb, err := gossipstream.Figure2(opts, nil, fig1Results)
 		if err != nil {
 			return err
@@ -87,7 +113,7 @@ func run() error {
 		}
 	}
 	if want("3") {
-		fmt.Println("running figure 3 (1000/2000 kbps caps)...")
+		fmt.Fprintln(out, "running figure 3 (1000/2000 kbps caps)...")
 		tb, err := gossipstream.Figure3(opts, nil, nil)
 		if err != nil {
 			return err
@@ -97,7 +123,7 @@ func run() error {
 		}
 	}
 	if want("4") {
-		fmt.Println("running figure 4 (bandwidth distribution)...")
+		fmt.Fprintln(out, "running figure 4 (bandwidth distribution)...")
 		tb, err := gossipstream.Figure4(opts, nil)
 		if err != nil {
 			return err
@@ -107,7 +133,7 @@ func run() error {
 		}
 	}
 	if want("5") {
-		fmt.Println("running figure 5 (refresh rate X)...")
+		fmt.Fprintln(out, "running figure 5 (refresh rate X)...")
 		tb, err := gossipstream.Figure5(opts, nil)
 		if err != nil {
 			return err
@@ -117,7 +143,7 @@ func run() error {
 		}
 	}
 	if want("6") {
-		fmt.Println("running figure 6 (feed-me rate Y)...")
+		fmt.Fprintln(out, "running figure 6 (feed-me rate Y)...")
 		tb, err := gossipstream.Figure6(opts, nil)
 		if err != nil {
 			return err
@@ -128,7 +154,7 @@ func run() error {
 	}
 	var fig7Results []*gossipstream.ExperimentResult
 	if want("7") || want("8") {
-		fmt.Println("running figure 7 (churn vs X)...")
+		fmt.Fprintln(out, "running figure 7 (churn vs X)...")
 		tb, results, err := gossipstream.Figure7(opts, nil, nil)
 		if err != nil {
 			return err
@@ -141,7 +167,7 @@ func run() error {
 		}
 	}
 	if want("8") {
-		fmt.Println("running figure 8 (complete windows under churn)...")
+		fmt.Fprintln(out, "running figure 8 (complete windows under churn)...")
 		tb, err := gossipstream.Figure8(opts, nil, nil, fig7Results)
 		if err != nil {
 			return err
@@ -151,7 +177,7 @@ func run() error {
 		}
 	}
 	if want("claim") || len(selected) == 0 {
-		fmt.Println("running §1 churn claim (20% churn, X=1)...")
+		fmt.Fprintln(out, "running §1 churn claim (20% churn, X=1)...")
 		claim, err := gossipstream.ChurnClaim(opts)
 		if err != nil {
 			return err
@@ -162,12 +188,12 @@ func run() error {
 				"  mean outage span among affected:       %.1fs  (paper: ≈5s)\n"+
 				"  missing windows within ±10s of churn:  %.1f%%\n",
 			claim.UnaffectedPct, claim.MeanOutage.Seconds(), claim.OutageNearChurnPct)
-		fmt.Println(text)
+		fmt.Fprintln(out, text)
 		if err := os.WriteFile(filepath.Join(*outDir, "churn_claim.txt"), []byte(text), 0o644); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("done in %v; tables written to %s/\n", time.Since(start).Round(time.Second), *outDir)
+	fmt.Fprintf(out, "done in %v; tables written to %s/\n", time.Since(start).Round(time.Second), *outDir)
 	return nil
 }
 

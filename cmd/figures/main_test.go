@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative shards", []string{"-shards", "-1"}},
+		{"negative nodes", []string{"-nodes", "-5"}},
+		{"unknown flag", []string{"-bogus"}},
+		{"stray argument", []string{"extra"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted, want error", tc.args)
+			}
+		})
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if !strings.Contains(out.String(), "-shards") {
+		t.Fatalf("usage does not mention -shards:\n%s", out.String())
+	}
+}
+
+// TestSmokeShardedFigure1 runs the Figure 1 fanout sweep on the sharded
+// engine at tiny scale — the ROADMAP's "wire cmd/figures to Config.Shards"
+// item — and checks a table lands on disk.
+func TestSmokeShardedFigure1(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-only", "1", "-scale", "0.07", "-shards", "2", "-nodes", "48", "-out", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "figure1.txt"))
+	if err != nil {
+		t.Fatalf("figure1.txt not written: %v", err)
+	}
+	if !strings.Contains(string(blob), "Figure 1") {
+		t.Fatalf("figure1.txt lacks the table title:\n%s", blob)
+	}
+	if !strings.Contains(out.String(), "done in") {
+		t.Fatalf("run did not report completion:\n%s", out.String())
+	}
+}

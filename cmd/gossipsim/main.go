@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		nodes   = fs.Int("nodes", 230, "system size including the source")
 		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		members = fs.String("membership", "full", "membership substrate: full (paper's global view) or cyclon (partial views)")
 		fanout  = fs.Int("fanout", 7, "gossip fanout f")
 		refresh = fs.Int("refresh", 1, "view refresh rate X (0 = never, the paper's ∞)")
 		feed    = fs.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
@@ -76,6 +77,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := gossipstream.DefaultExperiment()
+	m, err := gossipstream.ParseMembership(*members)
+	if err != nil {
+		return fmt.Errorf("-%w", err)
+	}
+	cfg.Membership = m
 	cfg.Nodes = *nodes
 	cfg.Shards = *shards
 	cfg.Seed = *seed
@@ -106,8 +112,8 @@ func run(args []string, out io.Writer) error {
 		res.Duration.Round(time.Second), cfg.Nodes, wall.Round(time.Millisecond), res.Events, engine)
 	fmt.Fprintf(out, "stream: %d kbps, %d windows of %d+%d packets\n",
 		cfg.Layout.RateBps/1000, cfg.Layout.Windows, cfg.Layout.DataPerWindow, cfg.Layout.ParityPerWindow)
-	fmt.Fprintf(out, "protocol: fanout %d, X=%s, Y=%s, cap %d kbps\n",
-		cfg.Protocol.Fanout, rate(cfg.Protocol.RefreshEvery), rate(cfg.Protocol.FeedEvery), cfg.UploadCapBps/1000)
+	fmt.Fprintf(out, "protocol: fanout %d, X=%s, Y=%s, cap %d kbps, membership %s\n",
+		cfg.Protocol.Fanout, rate(cfg.Protocol.RefreshEvery), rate(cfg.Protocol.FeedEvery), cfg.UploadCapBps/1000, *members)
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "%-28s %8s\n", "metric", "value")
 	for _, lag := range []struct {

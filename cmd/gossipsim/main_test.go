@@ -22,6 +22,7 @@ func TestFlagValidation(t *testing.T) {
 		{"zero windows", []string{"-windows", "0"}},
 		{"churn above one", []string{"-churn", "1.5"}},
 		{"churn below zero", []string{"-churn", "-0.1"}},
+		{"unknown membership", []string{"-membership", "gospel"}},
 		{"unknown flag", []string{"-bogus"}},
 		{"stray argument", []string{"extra"}},
 	}
@@ -76,6 +77,21 @@ func TestSmokeRunSharded(t *testing.T) {
 	got := smoke(t, "-nodes", "40", "-windows", "2", "-seed", "3", "-shards", "2")
 	if !strings.Contains(got, "sharded engine, 2 shards") {
 		t.Fatalf("missing engine line in output:\n%s", got)
+	}
+	m := completeRe.FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no quality line in output:\n%s", got)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || v <= 0 {
+		t.Fatalf("offline completeness = %q, want > 0", m[1])
+	}
+}
+
+func TestSmokeRunShardedCyclon(t *testing.T) {
+	got := smoke(t, "-nodes", "40", "-windows", "2", "-seed", "3", "-shards", "2", "-membership", "cyclon")
+	if !strings.Contains(got, "membership cyclon") {
+		t.Fatalf("missing membership in protocol line:\n%s", got)
 	}
 	m := completeRe.FindStringSubmatch(got)
 	if m == nil {

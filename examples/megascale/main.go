@@ -5,6 +5,7 @@
 //	go run ./examples/megascale                      # 10k nodes, one shard per core
 //	go run ./examples/megascale -nodes 100000        # the full 100k scenario
 //	go run ./examples/megascale -nodes 20000 -churn 0.2
+//	go run ./examples/megascale -membership cyclon   # realistic partial views
 package main
 
 import (
@@ -19,22 +20,29 @@ import (
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 10_000, "system size including the source")
-		shards = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
-		secs   = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
-		churn  = flag.Float64("churn", 0, "fraction of nodes failing mid-stream")
-		seed   = flag.Int64("seed", 1, "simulation seed")
+		nodes   = flag.Int("nodes", 10_000, "system size including the source")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
+		secs    = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
+		churn   = flag.Float64("churn", 0, "fraction of nodes failing mid-stream")
+		members = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
 	cfg := gossipstream.ScaledExperiment(*nodes, *shards, time.Duration(*secs)*time.Second)
 	cfg.Seed = *seed
+	m, err := gossipstream.ParseMembership(*members)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megascale: -%v\n", err)
+		os.Exit(1)
+	}
+	cfg.Membership = m
 	if *churn > 0 {
 		cfg.Churn = gossipstream.Catastrophe(cfg.Layout.Duration()/2, *churn)
 	}
 
-	fmt.Printf("simulating %d nodes × %ds of 600 kbps stream on %d shards...\n",
-		*nodes, *secs, cfg.Shards)
+	fmt.Printf("simulating %d nodes × %ds of 600 kbps stream on %d shards (%s membership)...\n",
+		*nodes, *secs, cfg.Shards, *members)
 	start := time.Now()
 	res, err := gossipstream.RunExperiment(cfg)
 	if err != nil {

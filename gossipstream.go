@@ -25,6 +25,7 @@
 package gossipstream
 
 import (
+	"fmt"
 	"time"
 
 	"gossipstream/internal/churn"
@@ -32,6 +33,7 @@ import (
 	"gossipstream/internal/experiment"
 	"gossipstream/internal/member"
 	"gossipstream/internal/metrics"
+	"gossipstream/internal/pss"
 	"gossipstream/internal/rt"
 	"gossipstream/internal/shaping"
 	"gossipstream/internal/simnet"
@@ -53,6 +55,10 @@ type (
 	StreamLayout = stream.Layout
 	// ExperimentConfig describes one simulated deployment.
 	ExperimentConfig = experiment.Config
+	// PSSConfig parameterizes the Cyclon partial-view membership substrate
+	// (ExperimentConfig.PSS): view size, shuffle length, shuffle period.
+	// The zero value resolves to DefaultPSSConfig.
+	PSSConfig = pss.Config
 	// ExperimentResult is the outcome of a simulated deployment.
 	ExperimentResult = experiment.Result
 	// NodeResult is one node's outcome within an ExperimentResult.
@@ -103,6 +109,24 @@ const (
 	MembershipCyclon = experiment.MembershipCyclon
 )
 
+// Membership selects the partner-sampling substrate of a simulated
+// deployment (ExperimentConfig.Membership).
+type Membership = experiment.Membership
+
+// ParseMembership maps the CLI spelling of a membership substrate
+// ("full", "cyclon") to its constant; tools share it so the accepted
+// spellings and error wording cannot drift.
+func ParseMembership(s string) (Membership, error) {
+	switch s {
+	case "full":
+		return MembershipFull, nil
+	case "cyclon":
+		return MembershipCyclon, nil
+	default:
+		return 0, fmt.Errorf("membership %q: want full or cyclon", s)
+	}
+}
+
 // OfflineLag selects offline viewing (no deadline) in quality queries.
 const OfflineLag = metrics.InfiniteLag
 
@@ -112,6 +136,11 @@ const JitterThreshold = metrics.DefaultJitterThreshold
 // DefaultProtocol returns the paper's streaming configuration: fanout 7,
 // 200 ms gossip period, X = 1, Y = ∞.
 func DefaultProtocol() ProtocolConfig { return core.DefaultConfig() }
+
+// DefaultPSSConfig returns the conventional Cyclon parameterization used
+// when MembershipCyclon is selected with a zero ExperimentConfig.PSS:
+// 20-entry views, 8-descriptor shuffles, 1 s period.
+func DefaultPSSConfig() PSSConfig { return pss.DefaultConfig() }
 
 // DefaultLayout returns the paper's stream: 600 kbps in windows of 101 data
 // plus 9 FEC packets, for the given number of windows.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -124,11 +125,27 @@ func TestShardsValidation(t *testing.T) {
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("negative Shards accepted")
 	}
+	// An unsupported membership substrate on the sharded path must fail
+	// with an error naming the engine, not silently fall back to
+	// full-view sampling.
+	cfg = smallCfg(1)
+	cfg.Shards = 2
+	cfg.Membership = Membership(99)
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("unknown membership accepted on the sharded engine")
+	}
+	if !strings.Contains(err.Error(), "sharded engine") {
+		t.Fatalf("error %q does not name the sharded engine", err)
+	}
+	// Cyclon on the sharded engine is supported since the membership port;
+	// its config is still validated.
 	cfg = smallCfg(1)
 	cfg.Shards = 2
 	cfg.Membership = MembershipCyclon
+	cfg.PSS.ViewSize = -3
 	if _, err := Run(cfg); err == nil {
-		t.Fatal("sharded Cyclon accepted (unsupported)")
+		t.Fatal("invalid PSS config accepted on the sharded engine")
 	}
 }
 

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gossipstream/internal/metrics"
+	"gossipstream/internal/wire"
+)
+
+// Sharded-engine membership coverage: the Cyclon port must disseminate,
+// replay bit-identically per (seed, shards), and at scale deliver stream
+// quality on par with the idealized full view.
+
+func TestShardedCyclonDisseminates(t *testing.T) {
+	cfg := smallCfg(5)
+	cfg.Nodes = 200
+	cfg.Shards = 4
+	cfg.Membership = MembershipCyclon
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := res.SurvivorQualities()
+	if got := metrics.MeanCompleteFraction(qs, metrics.InfiniteLag); got < 95 {
+		t.Fatalf("mean complete windows offline = %.1f%%, want >= 95%%", got)
+	}
+	// Shuffle traffic must actually flow over the shaped links.
+	var shuffleSent uint64
+	for _, n := range res.Nodes {
+		shuffleSent += n.Stats.SentMsgs[wire.KindShuffle]
+	}
+	if shuffleSent == 0 {
+		t.Fatal("no shuffle traffic under sharded Cyclon membership")
+	}
+}
+
+// TestShardedCyclonDeterministicReplay extends the fixed-(seed, shards)
+// guarantee to runs with membership enabled, including a churn burst (the
+// barrier-time path that crashes nodes holding live shuffle state).
+func TestShardedCyclonDeterministicReplay(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := smallCfg(11)
+			cfg.Shards = shards
+			cfg.Membership = MembershipCyclon
+			cfg.Churn = append(cfg.Churn, ChurnAt(cfg.Layout.Duration()/2, 0.3)...)
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events == 0 {
+				t.Fatal("sharded Cyclon run executed no events")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("sharded Cyclon: identical (seed, shards) produced different Results")
+			}
+			if qualityHash(t, a) != qualityHash(t, b) {
+				t.Fatal("sharded Cyclon: quality metrics not byte-identical")
+			}
+		})
+	}
+}
+
+// TestSharded10kCyclonQualityParity is the acceptance run: a 10k-node
+// sharded deployment over Cyclon partial views must complete with stream
+// quality within 5% of the full-view baseline. Skipped under -short and
+// the race detector (it executes tens of millions of events).
+func TestSharded10kCyclonQualityParity(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("10k-node acceptance run skipped in -short / race mode")
+	}
+	base := Defaults()
+	base.Nodes = 10_000
+	base.Shards = 4
+	base.Seed = 1
+	base.Layout.Windows = 9 // ≈16 s of stream
+	base.Drain = 8 * time.Second
+
+	full := base
+	full.Membership = MembershipFull
+	cyclon := base
+	cyclon.Membership = MembershipCyclon
+
+	fres, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := Run(cyclon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := metrics.MeanCompleteFraction(fres.SurvivorQualities(), metrics.InfiniteLag)
+	cq := metrics.MeanCompleteFraction(cres.SurvivorQualities(), metrics.InfiniteLag)
+	t.Logf("10k mean complete windows: full-view %.2f%%, Cyclon %.2f%% (%d vs %d events)",
+		fq, cq, fres.Events, cres.Events)
+	if fq <= 0 {
+		t.Fatal("full-view baseline delivered nothing")
+	}
+	if diff := (fq - cq) / fq * 100; diff > 5 {
+		t.Fatalf("Cyclon quality %.2f%% is %.1f%% below the full-view baseline %.2f%% (want within 5%%)", cq, diff, fq)
+	}
+}

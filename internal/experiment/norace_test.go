@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled gates the 10k-node acceptance runs, which are about scale
+// and statistics, not synchronization.
+const raceEnabled = false

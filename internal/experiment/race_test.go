@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled skips the 10k-node acceptance runs under the race detector;
+// see norace_test.go.
+const raceEnabled = true

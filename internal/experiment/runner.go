@@ -136,26 +136,38 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	switch c.Membership {
-	case 0, MembershipFull:
-	case MembershipCyclon:
-		cfg := c.PSS
-		if cfg == (pss.Config{}) {
-			cfg = pss.DefaultConfig()
-		}
-		if err := cfg.Validate(); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("experiment: unknown membership %d", c.Membership)
-	}
 	if c.Shards < 0 {
 		return fmt.Errorf("experiment: Shards = %d, want >= 0", c.Shards)
 	}
-	if c.Shards > 0 && c.Membership == MembershipCyclon {
-		return fmt.Errorf("experiment: the sharded engine does not support Cyclon membership yet (set Shards = 0)")
+	// Both engines support both membership substrates (the sharded engine
+	// gained Cyclon partial views with megasim.AttachSampler). A substrate
+	// neither engine knows must fail loudly here — naming the engine the
+	// configuration selected — rather than silently falling back to
+	// full-view sampling.
+	switch c.Membership {
+	case 0, MembershipFull:
+	case MembershipCyclon:
+		if err := c.effectivePSS().Validate(); err != nil {
+			return err
+		}
+	default:
+		engine := "the single-threaded kernel"
+		if c.Shards > 0 {
+			engine = fmt.Sprintf("the sharded engine (Shards = %d)", c.Shards)
+		}
+		return fmt.Errorf("experiment: unknown membership %d: %s supports MembershipFull and MembershipCyclon", c.Membership, engine)
 	}
 	return nil
+}
+
+// effectivePSS resolves the Cyclon parameterization a run will use: the
+// zero value selects pss.DefaultConfig. Validate and both engines resolve
+// through this one helper so they can never disagree.
+func (c Config) effectivePSS() pss.Config {
+	if c.PSS == (pss.Config{}) {
+		return pss.DefaultConfig()
+	}
+	return c.PSS
 }
 
 // NodeResult captures one node's outcome.
@@ -228,10 +240,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	pssCfg := cfg.PSS
-	if pssCfg == (pss.Config{}) {
-		pssCfg = pss.DefaultConfig()
-	}
+	pssCfg := cfg.effectivePSS()
 	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
 
 	peers := make([]*core.Peer, cfg.Nodes)
@@ -273,11 +282,16 @@ func Run(cfg Config) (*Result, error) {
 
 	// Schedule churn bursts. Victims are picked from nodes still alive at
 	// burst time, never the source.
+	stopSampler := func(id wire.NodeID) {
+		if samplers[id] != nil {
+			samplers[id].Stop()
+		}
+	}
 	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	for _, ev := range cfg.Churn {
 		ev := ev
 		sched.At(ev.At, func() {
-			crashBurst(net, peers, samplers, ev, churnRng)
+			crashBurst(net, peers, stopSampler, ev, churnRng)
 		})
 	}
 
@@ -312,9 +326,9 @@ func nodeCap(cfg Config, i int) int64 {
 
 // crashBurst executes one churn event: victims are picked from the
 // non-source nodes still alive, crashed in the network, and their
-// protocol (and sampling, when present) state stopped. samplers may be
-// nil or hold nil entries.
-func crashBurst(eng substrate, peers []*core.Peer, samplers []*pss.Node, ev churn.Event, rng *rand.Rand) {
+// protocol (and, via stopSampler, membership) state stopped. stopSampler
+// may be nil when the run has no per-node sampling state to silence.
+func crashBurst(eng substrate, peers []*core.Peer, stopSampler func(wire.NodeID), ev churn.Event, rng *rand.Rand) {
 	var eligible []wire.NodeID
 	for i := 1; i < len(peers); i++ {
 		if eng.Alive(wire.NodeID(i)) {
@@ -324,8 +338,8 @@ func crashBurst(eng substrate, peers []*core.Peer, samplers []*pss.Node, ev chur
 	for _, victim := range churn.Pick(eligible, ev.Fraction, rng) {
 		eng.Crash(victim)
 		peers[victim].Stop()
-		if samplers != nil && samplers[victim] != nil {
-			samplers[victim].Stop()
+		if stopSampler != nil {
+			stopSampler(victim)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/shaping"
 	"gossipstream/internal/stream"
+	"gossipstream/internal/wire"
 )
 
 // smallConfig returns a fast configuration: 40 nodes, ~20 s of stream.
@@ -209,7 +210,7 @@ func TestRunWithCyclonMembership(t *testing.T) {
 	// Shuffle traffic must actually flow over the network.
 	var shuffleBytes uint64
 	for _, n := range res.Nodes {
-		shuffleBytes += n.Stats.SentBytes[5]
+		shuffleBytes += n.Stats.SentBytes[wire.KindShuffle]
 	}
 	if shuffleBytes == 0 {
 		t.Fatal("no shuffle traffic under Cyclon membership")

@@ -7,18 +7,24 @@ import (
 	"gossipstream/internal/core"
 	"gossipstream/internal/megasim"
 	"gossipstream/internal/member"
+	"gossipstream/internal/pss"
 	"gossipstream/internal/stream"
 	"gossipstream/internal/wire"
 )
 
 // runSharded executes one deployment on the sharded engine. It mirrors Run
-// scenario-for-scenario — baseline, churn, catastrophe, heterogeneous caps
-// all behave identically — but swaps the substrate underneath the protocol:
+// scenario-for-scenario — baseline, churn, catastrophe, heterogeneous caps,
+// full-view or Cyclon membership all behave identically — but swaps the
+// substrate underneath the protocol:
 //
 //   - internal/megasim instead of internal/sim + internal/simnet, so event
 //     execution spreads across cfg.Shards cores;
-//   - member.SparseView instead of member.FullView, because a per-node
-//     O(n) membership array is prohibitive at 100k+ nodes;
+//   - under MembershipFull, member.SparseView instead of member.FullView,
+//     because a per-node O(n) membership array is prohibitive at 100k+
+//     nodes;
+//   - under MembershipCyclon, compact pss.State records attached to the
+//     engine (megasim.AttachSampler), which ticks them and routes their
+//     shuffle traffic — there is no timer-driven pss.Node on this path;
 //   - compact per-node RNG state (megasim.NewRand) instead of the 5 KB
 //     default source.
 //
@@ -40,12 +46,31 @@ func runSharded(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	pssCfg := cfg.effectivePSS()
+	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
+
 	peers := make([]*core.Peer, cfg.Nodes)
+	var states []*pss.State // nil under MembershipFull
+	if cfg.Membership == MembershipCyclon {
+		states = make([]*pss.State, cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := wire.NodeID(i)
 		rng := megasim.NewRand(cfg.Seed<<20 + int64(i))
 		env := eng.NodeEnv(id, rng)
-		sampler := member.NewSparseView(id, cfg.Nodes, rng)
+		var sampler member.Sampler
+		if states != nil {
+			boot := bootstrapIDs(id, cfg.Nodes, pssCfg.ShuffleLen, bootRng)
+			// The record's stream is decorrelated from the node's protocol
+			// stream (seeded cfg.Seed<<20 + i) by a distinct salt.
+			states[i], err = pss.NewState(id, pssCfg, cfg.Seed<<20+0x707373+int64(i), boot)
+			if err != nil {
+				return nil, err
+			}
+			sampler = states[i]
+		} else {
+			sampler = member.NewSparseView(id, cfg.Nodes, rng)
+		}
 		var p *core.Peer
 		if i == 0 {
 			p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
@@ -59,6 +84,9 @@ func runSharded(cfg Config) (*Result, error) {
 		if got := eng.AddNode(p, nodeCap(cfg, i), cfg.QueueBytes); got != id {
 			return nil, fmt.Errorf("experiment: node id drift: got %d, want %d", got, id)
 		}
+		if states != nil {
+			eng.AttachSampler(id, states[i], pssCfg.Period)
+		}
 	}
 
 	for _, p := range peers {
@@ -66,12 +94,19 @@ func runSharded(cfg Config) (*Result, error) {
 	}
 
 	// Churn bursts run at engine barriers: every shard is quiescent, so a
-	// burst may crash nodes and stop their peers across all shards.
+	// burst may crash nodes and stop their peers across all shards. The
+	// engine already ends a crashed node's shuffle schedule and dead-drops
+	// its membership traffic; stopping the record as well just mirrors the
+	// classic path's bookkeeping.
+	var stopSampler func(wire.NodeID)
+	if states != nil {
+		stopSampler = func(id wire.NodeID) { states[id].Stop() }
+	}
 	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	for _, ev := range cfg.Churn {
 		ev := ev
 		eng.AtBarrier(ev.At, func() {
-			crashBurst(eng, peers, nil, ev, churnRng)
+			crashBurst(eng, peers, stopSampler, ev, churnRng)
 		})
 	}
 

@@ -285,4 +285,3 @@ func pickDistinct(seed uint32, n, count int) []int {
 	}
 	return perm[:count]
 }
-

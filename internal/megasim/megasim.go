@@ -41,6 +41,18 @@
 // message, megasim stores events by value in a growable per-shard array
 // heap (one compact record per in-flight message, no per-event
 // allocation) and reuses outbox capacity across windows.
+//
+// # Membership
+//
+// The engine can carry a live membership substrate alongside the stream:
+// AttachSampler hangs a member.DynamicSampler (e.g. a Cyclon record,
+// internal/pss) off a node's slot in the node-state arena. The engine
+// owns the substrate's schedule — one compact evMemberTick event per node
+// per period, no timer closures — and routes SHUFFLE deliveries to the
+// record, transmitting its emissions through the same shaped, lossy send
+// path as protocol traffic. Cross-shard shuffles are handed over at
+// barriers exactly like streaming messages, so runs with membership
+// enabled keep the bit-identical fixed-(seed, shards) guarantee.
 package megasim
 
 import (
@@ -51,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"gossipstream/internal/member"
 	"gossipstream/internal/shaping"
 	"gossipstream/internal/simnet"
 	"gossipstream/internal/wire"
@@ -83,9 +96,15 @@ const infTime = time.Duration(1<<63 - 1)
 
 type nodeState struct {
 	handler Handler
-	uplink  shaping.Shaper
-	base    time.Duration
-	alive   bool
+	// sampler, when non-nil, is the node's dynamic membership record
+	// (AttachSampler): the engine ticks it every tickEvery and routes
+	// SHUFFLE deliveries to it instead of the handler. Like stats it is
+	// only touched by the node's own shard.
+	sampler   member.DynamicSampler
+	tickEvery time.Duration
+	uplink    shaping.Shaper
+	base      time.Duration
+	alive     bool
 	// stats is written only by the node's own shard (sends from the node,
 	// deliveries to the node), never concurrently.
 	stats simnet.Stats
@@ -104,6 +123,7 @@ type Engine struct {
 	shards    []*shard
 	nodes     []nodeState
 	setup     *rand.Rand
+	tickRng   *rand.Rand
 	pairSalt  uint64
 	lookahead time.Duration
 	globals   []globalEvent
@@ -129,7 +149,11 @@ func New(cfg Config) (*Engine, error) {
 	case cfg.Net.BaseLatencySigma < 0:
 		return nil, fmt.Errorf("megasim: BaseLatencySigma = %v, want >= 0", cfg.Net.BaseLatencySigma)
 	}
-	e := &Engine{cfg: cfg, setup: NewRand(cfg.Seed)}
+	// tickRng de-phases membership tick schedules on a stream separate
+	// from setup so attaching samplers never perturbs topology draws
+	// (base latencies stay identical across membership modes, keeping
+	// full-view and partial-view runs network-comparable).
+	e := &Engine{cfg: cfg, setup: NewRand(cfg.Seed), tickRng: NewRand(cfg.Seed ^ 0x6d656d62)}
 	e.pairSalt = e.setup.Uint64()
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
@@ -164,6 +188,51 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 	}
 	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
 	return id
+}
+
+// AttachSampler registers a dynamic membership record for an added node
+// and schedules its protocol: the engine calls d.Tick() every period
+// (first tick de-phased by a random offset so the population does not
+// shuffle in lock-step) and routes SHUFFLE deliveries to d.Handle instead
+// of the node's handler. Emissions travel the normal lossy send path, so
+// membership traffic shares the node's capped uplink with the stream.
+// Cross-shard shuffles ride the same per-(src,dst) outboxes as every
+// other message and are folded in at barriers in deterministic shard
+// order. A crashed node's tick chain ends at its next tick; its
+// descriptors elsewhere age out of live views. Only legal before Run.
+func (e *Engine) AttachSampler(id NodeID, d member.DynamicSampler, period time.Duration) {
+	if d == nil {
+		panic("megasim: nil sampler")
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("megasim: sampler period %v", period))
+	}
+	if e.ran || e.running {
+		panic("megasim: AttachSampler after Run")
+	}
+	nd := e.node(id)
+	if nd.sampler != nil {
+		panic(fmt.Sprintf("megasim: node %d already has a sampler", id))
+	}
+	nd.sampler = d
+	nd.tickEvery = period
+	sh := e.shards[int(id)%len(e.shards)]
+	sh.pushMemberTick(time.Duration(e.tickRng.Int63n(int64(period))), id)
+}
+
+// memberTick runs one membership round for the node: dead nodes end their
+// tick chain (no cancellation handshake needed — exactly what makes
+// barrier-time churn safe), live ones may emit one shuffle and are
+// rescheduled one period out.
+func (e *Engine) memberTick(sh *shard, id NodeID) {
+	nd := &e.nodes[id]
+	if !nd.alive || nd.sampler == nil {
+		return
+	}
+	if em, ok := nd.sampler.Tick(); ok {
+		e.send(sh, id, em.To, em.Msg)
+	}
+	sh.pushMemberTick(sh.now+nd.tickEvery, id)
 }
 
 // N returns the number of nodes ever added.
@@ -400,8 +469,12 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 
 // deliver hands a message to its destination. It executes on the
 // destination node's shard; the sender's liveness flag is stable between
-// barriers, so the cross-shard read is race-free.
-func (e *Engine) deliver(ev *event) {
+// barriers, so the cross-shard read is race-free. SHUFFLE messages are
+// membership traffic: they go to the node's sampler (which may answer —
+// the reply departs through the node's own shaped uplink), never to the
+// protocol handler. A node without a sampler drops them silently, like
+// any unknown datagram.
+func (e *Engine) deliver(sh *shard, ev *event) {
 	src, dst := &e.nodes[ev.from], &e.nodes[ev.to]
 	if !src.alive || !dst.alive {
 		dst.stats.DeadDrops++
@@ -410,6 +483,14 @@ func (e *Engine) deliver(ev *event) {
 	k := ev.msg.Kind()
 	dst.stats.RecvMsgs[k]++
 	dst.stats.RecvBytes[k] += uint64(ev.size)
+	if k == wire.KindShuffle {
+		if dst.sampler != nil {
+			if reply, ok := dst.sampler.Handle(ev.from, ev.msg); ok {
+				e.send(sh, ev.to, reply.To, reply.Msg)
+			}
+		}
+		return
+	}
 	dst.handler.HandleMessage(ev.from, ev.msg)
 }
 

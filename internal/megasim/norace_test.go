@@ -1,0 +1,8 @@
+//go:build !race
+
+package megasim
+
+// raceEnabled gates the statistical scale tests (10k-node membership
+// mixing), which are about distribution shape, not synchronization — the
+// barrier protocol's race coverage comes from the small tests.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package megasim
+
+// raceEnabled skips the statistical scale tests under the race detector;
+// see norace_test.go.
+const raceEnabled = true

@@ -1,31 +1,17 @@
 package megasim
 
-import "math/rand"
+import (
+	"math/rand"
 
-// splitmix64 is a tiny rand.Source64: 8 bytes of state versus the ~5 KB of
-// the standard library's default source. At 100k+ nodes — one private
-// stream per node plus one per shard — the default source alone would cost
-// half a gigabyte; this keeps per-node RNG state negligible.
-type splitmix64 struct {
-	state uint64
-}
+	"gossipstream/internal/xrand"
+)
 
-func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
-
-func (s *splitmix64) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-// NewRand returns a deterministic *rand.Rand over a compact splitmix64
-// state. The seed is finalized through one mixing round so adjacent seeds
-// (node 0, node 1, ...) yield decorrelated streams.
+// NewRand returns a deterministic *rand.Rand over a compact 8-byte
+// splitmix64 state (see internal/xrand) instead of the ~5 KB default
+// source. At 100k+ nodes — one private stream per node plus one per shard —
+// the default source alone would cost half a gigabyte; this keeps per-node
+// RNG state negligible. The seed is finalized through one mixing round so
+// adjacent seeds (node 0, node 1, ...) yield decorrelated streams.
 func NewRand(seed int64) *rand.Rand {
-	boot := splitmix64{state: uint64(seed)}
-	return rand.New(&splitmix64{state: boot.Uint64()})
+	return xrand.New(seed)
 }

@@ -7,10 +7,22 @@ import (
 	"gossipstream/internal/wire"
 )
 
+// Event kinds. Membership ticks get their own kind instead of a timer
+// closure: 100k nodes shuffling once a second would otherwise allocate a
+// closure per node per virtual second, and a crashed node's tick chain
+// must stop without a cancellation handshake (the kind dispatch just sees
+// the dead flag and lets the chain end).
+const (
+	evTimer uint8 = iota
+	evDeliver
+	evMemberTick
+)
+
 // event is one scheduled occurrence, stored by value in the shard heap: a
-// timer (fn != nil) or a message delivery. Compared to simnet's
-// closure-per-message representation this is a single flat record, so the
-// per-message cost is a heap slot, not two heap allocations.
+// timer, a message delivery, or a membership tick (the node id rides in
+// to). Compared to simnet's closure-per-message representation this is a
+// single flat record, so the per-message cost is a heap slot, not two heap
+// allocations.
 type event struct {
 	at      time.Duration
 	seq     uint64
@@ -18,8 +30,9 @@ type event struct {
 	from    NodeID
 	to      NodeID
 	size    int32
-	fn      func()       // nil for deliveries
-	msg     wire.Message // nil for timers
+	kind    uint8
+	fn      func()       // evTimer only
+	msg     wire.Message // evDeliver only
 }
 
 // xmsg is a cross-shard delivery in transit through an outbox.
@@ -92,12 +105,13 @@ func (s *shard) work() {
 }
 
 // runWindow executes every local event with timestamp strictly before end.
-// Events scheduled mid-window (timers, same-shard deliveries) run in the
-// same window when they fall before end.
+// Events scheduled mid-window (timers, same-shard deliveries, membership
+// ticks) run in the same window when they fall before end.
 func (s *shard) runWindow(end time.Duration) {
 	for len(s.heap) > 0 && s.heap[0].at < end {
 		ev := s.pop()
-		if ev.fn != nil {
+		switch ev.kind {
+		case evTimer:
 			if len(s.cancelled) > 0 {
 				if _, dead := s.cancelled[ev.timerID]; dead {
 					delete(s.cancelled, ev.timerID)
@@ -107,10 +121,14 @@ func (s *shard) runWindow(end time.Duration) {
 			s.now = ev.at
 			s.fired++
 			ev.fn()
-		} else {
+		case evDeliver:
 			s.now = ev.at
 			s.fired++
-			s.eng.deliver(&ev)
+			s.eng.deliver(s, &ev)
+		case evMemberTick:
+			s.now = ev.at
+			s.fired++
+			s.eng.memberTick(s, ev.to)
 		}
 	}
 }
@@ -151,7 +169,7 @@ func (s *shard) after(d time.Duration, fn func()) func() {
 	}
 	id := s.nextTimer
 	s.nextTimer++
-	s.push(event{at: s.now + d, timerID: id, fn: fn})
+	s.push(event{at: s.now + d, timerID: id, kind: evTimer, fn: fn})
 	done := false
 	return func() {
 		if !done {
@@ -163,7 +181,12 @@ func (s *shard) after(d time.Duration, fn func()) func() {
 
 // pushDelivery schedules a message delivery at the given time.
 func (s *shard) pushDelivery(at time.Duration, from, to NodeID, size int32, msg wire.Message) {
-	s.push(event{at: at, from: from, to: to, size: size, msg: msg})
+	s.push(event{at: at, from: from, to: to, size: size, kind: evDeliver, msg: msg})
+}
+
+// pushMemberTick schedules the node's next membership tick.
+func (s *shard) pushMemberTick(at time.Duration, id NodeID) {
+	s.push(event{at: at, to: id, kind: evMemberTick})
 }
 
 // The scheduler is a 4-ary min-heap over (at, seq): half the depth of a

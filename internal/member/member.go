@@ -9,9 +9,13 @@
 //     insert it into their partner sets; each recipient replaces one random
 //     current partner with the requester.
 //
-// Selection is uniform over the full membership. The paper assumes global
-// knowledge of the node set and no repair: crashed nodes are never removed
-// from views. Package member therefore never learns about failures.
+// Selection is uniform over the substrate's membership view. The paper
+// assumes global knowledge of the node set and no repair — FullView and
+// SparseView model exactly that: crashed nodes are never removed. Deployed
+// systems instead run a membership gossip layer with partial views; the
+// DynamicSampler interface is the engine-facing contract such substrates
+// (internal/pss) satisfy, letting every simulation engine drive static and
+// live views through one abstraction.
 package member
 
 import (
@@ -35,8 +39,51 @@ type Sampler interface {
 	Sample(k int) []wire.NodeID
 }
 
+// Emit is one outbound membership message produced by a dynamic sampler.
+// Samplers return emissions instead of sending so their records stay
+// engine-agnostic: no captured environment, no timers, no closures — the
+// driving engine owns scheduling and transport.
+type Emit struct {
+	To  wire.NodeID
+	Msg wire.Message
+}
+
+// DynamicSampler is the engine-facing contract every membership substrate
+// satisfies, static or live. A static sampler's view never changes, so its
+// dynamics are no-ops (embed Static); a live substrate (Cyclon partial
+// views, internal/pss) evolves its view through the protocol traffic the
+// engine routes through these methods:
+//
+//   - Tick advances one protocol round (the engine calls it on the
+//     substrate's period) and returns at most one message to transmit.
+//   - Handle consumes an inbound membership message and returns at most
+//     one reply. Messages of kinds the substrate does not speak are
+//     ignored.
+//
+// Both run on the owning node's scheduler thread; implementations need no
+// internal locking. The engine transmits emissions over the same lossy,
+// latency-modelled links as protocol traffic, so membership maintenance
+// pays for its bandwidth like everything else.
+type DynamicSampler interface {
+	Sampler
+	Tick() (Emit, bool)
+	Handle(from wire.NodeID, msg wire.Message) (Emit, bool)
+}
+
+// Static provides no-op dynamics. Embed it to lift a fixed-membership
+// Sampler into a DynamicSampler: such a view never emits traffic and
+// ignores all inbound membership messages.
+type Static struct{}
+
+// Tick implements DynamicSampler; a static view never emits.
+func (Static) Tick() (Emit, bool) { return Emit{}, false }
+
+// Handle implements DynamicSampler; a static view ignores all traffic.
+func (Static) Handle(wire.NodeID, wire.Message) (Emit, bool) { return Emit{}, false }
+
 // FullView is a Sampler over static global membership [0, n) minus self.
 type FullView struct {
+	Static
 	self wire.NodeID
 	all  []wire.NodeID
 	rng  *rand.Rand
@@ -79,6 +126,7 @@ func (v *FullView) Sample(k int) []wire.NodeID {
 // drawn by rejection, which is cheap while k ≪ n; for tiny systems
 // (k close to n) it degrades gracefully by enumerating.
 type SparseView struct {
+	Static
 	self wire.NodeID
 	n    int
 	rng  *rand.Rand
@@ -132,6 +180,13 @@ draw:
 	}
 	return out
 }
+
+// Compile-time checks: the static views satisfy the engine-facing
+// dynamic-view contract through their embedded no-op dynamics.
+var (
+	_ DynamicSampler = (*FullView)(nil)
+	_ DynamicSampler = (*SparseView)(nil)
+)
 
 // View yields the communication partners for each gossip round, applying
 // the refresh-rate knob X and feed-me insertions.

@@ -324,3 +324,20 @@ func TestSparseViewInvalidSizePanics(t *testing.T) {
 	}()
 	NewSparseView(0, 0, rand.New(rand.NewSource(1)))
 }
+
+func TestStaticDynamicsAreNoOps(t *testing.T) {
+	// The static views satisfy the engine-facing DynamicSampler contract
+	// through embedded no-op dynamics: they never emit and ignore traffic.
+	var samplers = []DynamicSampler{
+		NewFullView(0, 10, rand.New(rand.NewSource(1))),
+		NewSparseView(0, 10, rand.New(rand.NewSource(1))),
+	}
+	for i, s := range samplers {
+		if _, ok := s.Tick(); ok {
+			t.Fatalf("sampler %d: static view emitted on Tick", i)
+		}
+		if _, ok := s.Handle(3, wire.FeedMe{}); ok {
+			t.Fatalf("sampler %d: static view replied to traffic", i)
+		}
+	}
+}

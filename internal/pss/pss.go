@@ -19,6 +19,32 @@
 // youngest descriptors rather than performing slot-for-slot swaps. The
 // resulting in-degree distribution stays balanced enough for uniform-ish
 // sampling, which is all the streaming layer needs.
+//
+// # Representation
+//
+// The protocol state lives in State, a compact per-node record satisfying
+// member.DynamicSampler: the bounded view, an 8-byte splitmix64 random
+// stream, and two counters — no captured environment, no timers, no
+// closures, no wall-clock coupling. Engines own scheduling and transport:
+// they call Tick on the shuffle period and route SHUFFLE traffic through
+// Handle, transmitting whatever either returns. This is what lets the
+// sharded engine (internal/megasim) keep per-shard pss state in its
+// node-state arena and hand cross-shard shuffles over at barriers
+// deterministically.
+//
+// Shuffles are fire-and-forget, which is what makes barrier-time churn
+// harmless: the initiator removes its shuffle target's descriptor before
+// sending, so nothing is pending while the request is in flight. If the
+// target crashed — even in the same barrier that scheduled the delivery —
+// the request is simply lost, the initiator's view has already shed the
+// descriptor, and remaining copies elsewhere age out through later
+// shuffles. No reply ever wedges.
+//
+// Node wraps a State for timer-driven environments (core.Env): it
+// schedules its own ticks and sends its own messages. The classic
+// single-threaded engine uses Node (any driver satisfying core.Env,
+// such as the real-time UDP driver's, could host one the same way);
+// megasim drives State records directly.
 package pss
 
 import (
@@ -28,6 +54,7 @@ import (
 
 	"gossipstream/internal/member"
 	"gossipstream/internal/wire"
+	"gossipstream/internal/xrand"
 )
 
 // Config parameterizes the sampling service.
@@ -36,7 +63,8 @@ type Config struct {
 	ViewSize int
 	// ShuffleLen is the number of descriptors exchanged per shuffle.
 	ShuffleLen int
-	// Period is the shuffle interval.
+	// Period is the shuffle interval. State itself never reads it; the
+	// driving engine does, to schedule Tick calls.
 	Period time.Duration
 }
 
@@ -58,8 +86,193 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Env is the environment the service runs in — a subset of core.Env, so
-// both drivers satisfy it.
+// maxAge saturates descriptor ages (wire.ShuffleEntry.Age is uint16).
+const maxAge = 1<<16 - 1
+
+// State is one node's Cyclon record in compact, engine-driven form; see
+// the package comment for the contract. Not safe for concurrent use; the
+// driving engine serializes calls, as with the streaming protocol state.
+type State struct {
+	self       wire.NodeID
+	viewSize   int
+	shuffleLen int
+	rng        xrand.SplitMix64
+	view       []wire.ShuffleEntry
+	stopped    bool
+
+	shufflesSent     int
+	shufflesAnswered int
+}
+
+// NewState returns a record seeded with bootstrap descriptors (age 0). At
+// least one bootstrap entry is required to join the overlay; the common
+// pattern seeds each node with a few random peers. All randomness (shuffle
+// partner sampling, Sample) comes from a private splitmix64 stream over
+// seed.
+func NewState(self wire.NodeID, cfg Config, seed int64, bootstrap []wire.NodeID) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		self:       self,
+		viewSize:   cfg.ViewSize,
+		shuffleLen: cfg.ShuffleLen,
+		rng:        xrand.Seeded(seed),
+		view:       make([]wire.ShuffleEntry, 0, cfg.ViewSize),
+	}
+	for _, id := range bootstrap {
+		if id != self {
+			s.insert(wire.ShuffleEntry{ID: id})
+		}
+	}
+	return s, nil
+}
+
+// Self returns the record's node id.
+func (s *State) Self() wire.NodeID { return s.self }
+
+// Stop makes the record inert: Tick emits nothing and Handle ignores all
+// traffic. Engines call it when the node crashes or departs; the node's
+// descriptors elsewhere then age out of the overlay.
+func (s *State) Stop() { s.stopped = true }
+
+// Stopped reports whether the record has been stopped.
+func (s *State) Stopped() bool { return s.stopped }
+
+// View returns a copy of the current view.
+func (s *State) View() []wire.ShuffleEntry {
+	out := make([]wire.ShuffleEntry, len(s.view))
+	copy(out, s.view)
+	return out
+}
+
+// ShufflesSent reports initiated shuffles (metrics).
+func (s *State) ShufflesSent() int { return s.shufflesSent }
+
+// ShufflesAnswered reports answered shuffle requests (metrics).
+func (s *State) ShufflesAnswered() int { return s.shufflesAnswered }
+
+// Sample implements member.Sampler over the partial view: up to k distinct
+// ids drawn uniformly from the view.
+func (s *State) Sample(k int) []wire.NodeID {
+	if k > len(s.view) {
+		k = len(s.view)
+	}
+	if k <= 0 {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(len(s.view)-i)
+		s.view[i], s.view[j] = s.view[j], s.view[i]
+	}
+	out := make([]wire.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.view[i].ID
+	}
+	return out
+}
+
+// Tick implements member.DynamicSampler: one shuffle round. It ages the
+// view, removes the oldest descriptor, and emits a shuffle request to that
+// node carrying a view sample plus a fresh self-descriptor. Dropping the
+// target first is the failure-repair mechanism: if the target is dead the
+// descriptor is gone; if alive it will come back fresh via its own
+// shuffles.
+func (s *State) Tick() (member.Emit, bool) {
+	if s.stopped || len(s.view) == 0 {
+		return member.Emit{}, false
+	}
+	oldest := 0
+	for i := range s.view {
+		if s.view[i].Age < maxAge {
+			s.view[i].Age++
+		}
+		if s.view[i].Age > s.view[oldest].Age {
+			oldest = i
+		}
+	}
+	target := s.view[oldest].ID
+	s.view[oldest] = s.view[len(s.view)-1]
+	s.view = s.view[:len(s.view)-1]
+
+	sample := s.sampleEntries(s.shuffleLen - 1)
+	sample = append(sample, wire.ShuffleEntry{ID: s.self, Age: 0})
+	s.shufflesSent++
+	return member.Emit{To: target, Msg: wire.Shuffle{Entries: sample}}, true
+}
+
+// Handle implements member.DynamicSampler: it merges shuffle traffic and
+// answers requests with a sample of the pre-merge view. Non-shuffle
+// messages are ignored, so the record can sit behind any dispatcher.
+func (s *State) Handle(from wire.NodeID, msg wire.Message) (member.Emit, bool) {
+	sh, ok := msg.(wire.Shuffle)
+	if !ok || s.stopped {
+		return member.Emit{}, false
+	}
+	var reply member.Emit
+	var replies bool
+	if !sh.Reply {
+		reply = member.Emit{To: from, Msg: wire.Shuffle{Reply: true, Entries: s.sampleEntries(s.shuffleLen)}}
+		replies = true
+		s.shufflesAnswered++
+	}
+	for _, e := range sh.Entries {
+		if e.ID != s.self {
+			s.insert(e)
+		}
+	}
+	return reply, replies
+}
+
+var _ member.DynamicSampler = (*State)(nil)
+
+// sampleEntries returns up to k copies of random view entries.
+func (s *State) sampleEntries(k int) []wire.ShuffleEntry {
+	if k > len(s.view) {
+		k = len(s.view)
+	}
+	if k <= 0 {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(len(s.view)-i)
+		s.view[i], s.view[j] = s.view[j], s.view[i]
+	}
+	out := make([]wire.ShuffleEntry, k)
+	copy(out, s.view[:k])
+	return out
+}
+
+// insert merges one descriptor: duplicates keep the younger age; overflow
+// evicts the oldest entry if the newcomer is younger.
+func (s *State) insert(e wire.ShuffleEntry) {
+	for i := range s.view {
+		if s.view[i].ID == e.ID {
+			if e.Age < s.view[i].Age {
+				s.view[i].Age = e.Age
+			}
+			return
+		}
+	}
+	if len(s.view) < s.viewSize {
+		s.view = append(s.view, e)
+		return
+	}
+	oldest := 0
+	for i := range s.view {
+		if s.view[i].Age > s.view[oldest].Age {
+			oldest = i
+		}
+	}
+	if s.view[oldest].Age > e.Age {
+		s.view[oldest] = e
+	}
+}
+
+// Env is the environment a timer-driven Node runs in — a subset of
+// core.Env, so both drivers satisfy it. The random source is only used to
+// de-phase the tick schedule and to seed the record's private stream; the
+// record itself draws from its own 8-byte splitmix64 state.
 type Env interface {
 	ID() wire.NodeID
 	Send(to wire.NodeID, msg wire.Message)
@@ -67,35 +280,31 @@ type Env interface {
 	Rand() *rand.Rand
 }
 
-// Node is one peer-sampling participant. Not safe for concurrent use; the
+// Node adapts a State to a timer-driven environment: it owns the tick
+// schedule (periodic, de-phased by a random offset) and transmits the
+// record's emissions through env.Send. Not safe for concurrent use; the
 // driver serializes handler calls, as with the streaming engine.
 type Node struct {
-	env  Env
-	cfg  Config
-	view []wire.ShuffleEntry
+	env Env
+	cfg Config
+	st  *State
 
 	running    bool
 	cancelTick func()
-
-	shufflesSent     int
-	shufflesAnswered int
 }
 
-// New creates a node seeded with bootstrap descriptors (age 0). At least
-// one bootstrap entry is required to join the overlay; the common pattern
-// seeds each node with a few random peers.
+// New creates a timer-driven node seeded with bootstrap descriptors; see
+// NewState. The record's random stream is seeded from env.Rand.
 func New(env Env, cfg Config, bootstrap []wire.NodeID) (*Node, error) {
-	if err := cfg.Validate(); err != nil {
+	st, err := NewState(env.ID(), cfg, env.Rand().Int63n(1<<62), bootstrap)
+	if err != nil {
 		return nil, err
 	}
-	n := &Node{env: env, cfg: cfg}
-	for _, id := range bootstrap {
-		if id != env.ID() {
-			n.insert(wire.ShuffleEntry{ID: id})
-		}
-	}
-	return n, nil
+	return &Node{env: env, cfg: cfg, st: st}, nil
 }
+
+// State exposes the underlying record (metrics, tests).
+func (n *Node) State() *State { return n.st }
 
 // Start begins periodic shuffling, de-phased by a random offset.
 func (n *Node) Start() {
@@ -107,7 +316,8 @@ func (n *Node) Start() {
 	n.cancelTick = n.env.After(offset, n.tick)
 }
 
-// Stop halts shuffling. In-flight replies are still merged.
+// Stop halts shuffling and makes the node inert: like a crashed peer it
+// neither answers nor merges traffic that is still in flight.
 func (n *Node) Stop() {
 	n.running = false
 	if n.cancelTick != nil {
@@ -117,35 +327,13 @@ func (n *Node) Stop() {
 }
 
 // View returns a copy of the current view.
-func (n *Node) View() []wire.ShuffleEntry {
-	out := make([]wire.ShuffleEntry, len(n.view))
-	copy(out, n.view)
-	return out
-}
+func (n *Node) View() []wire.ShuffleEntry { return n.st.View() }
 
 // ShufflesSent reports initiated shuffles (metrics).
-func (n *Node) ShufflesSent() int { return n.shufflesSent }
+func (n *Node) ShufflesSent() int { return n.st.ShufflesSent() }
 
-// Sample implements member.Sampler over the partial view: up to k distinct
-// ids drawn uniformly from the view.
-func (n *Node) Sample(k int) []wire.NodeID {
-	if k > len(n.view) {
-		k = len(n.view)
-	}
-	if k <= 0 {
-		return nil
-	}
-	rng := n.env.Rand()
-	for i := 0; i < k; i++ {
-		j := i + rng.Intn(len(n.view)-i)
-		n.view[i], n.view[j] = n.view[j], n.view[i]
-	}
-	out := make([]wire.NodeID, k)
-	for i := 0; i < k; i++ {
-		out[i] = n.view[i].ID
-	}
-	return out
-}
+// Sample implements member.Sampler over the partial view.
+func (n *Node) Sample(k int) []wire.NodeID { return n.st.Sample(k) }
 
 var _ member.Sampler = (*Node)(nil)
 
@@ -155,92 +343,18 @@ func (n *Node) tick() {
 		return
 	}
 	n.cancelTick = n.env.After(n.cfg.Period, n.tick)
-	if len(n.view) == 0 {
-		return
+	if em, ok := n.st.Tick(); ok {
+		n.env.Send(em.To, em.Msg)
 	}
-	for i := range n.view {
-		if n.view[i].Age < 1<<16-1 {
-			n.view[i].Age++
-		}
-	}
-	// Pick the oldest descriptor as shuffle target and drop it: if the
-	// target is dead the descriptor is gone; if alive it will come back
-	// fresh via its own shuffles.
-	oldest := 0
-	for i, e := range n.view {
-		if e.Age > n.view[oldest].Age {
-			oldest = i
-		}
-	}
-	target := n.view[oldest].ID
-	n.view[oldest] = n.view[len(n.view)-1]
-	n.view = n.view[:len(n.view)-1]
-
-	sample := n.sampleEntries(n.cfg.ShuffleLen - 1)
-	sample = append(sample, wire.ShuffleEntry{ID: n.env.ID(), Age: 0})
-	n.env.Send(target, wire.Shuffle{Entries: sample})
-	n.shufflesSent++
 }
 
 // HandleMessage processes shuffle traffic. Non-shuffle messages are
 // ignored so the node can sit behind the same dispatcher as the engine.
 func (n *Node) HandleMessage(from wire.NodeID, msg wire.Message) {
-	sh, ok := msg.(wire.Shuffle)
-	if !ok || !n.running {
+	if !n.running {
 		return
 	}
-	if !sh.Reply {
-		reply := n.sampleEntries(n.cfg.ShuffleLen)
-		n.env.Send(from, wire.Shuffle{Reply: true, Entries: reply})
-		n.shufflesAnswered++
-	}
-	for _, e := range sh.Entries {
-		if e.ID != n.env.ID() {
-			n.insert(e)
-		}
-	}
-}
-
-// sampleEntries returns up to k copies of random view entries.
-func (n *Node) sampleEntries(k int) []wire.ShuffleEntry {
-	if k > len(n.view) {
-		k = len(n.view)
-	}
-	if k <= 0 {
-		return nil
-	}
-	rng := n.env.Rand()
-	for i := 0; i < k; i++ {
-		j := i + rng.Intn(len(n.view)-i)
-		n.view[i], n.view[j] = n.view[j], n.view[i]
-	}
-	out := make([]wire.ShuffleEntry, k)
-	copy(out, n.view[:k])
-	return out
-}
-
-// insert merges one descriptor: duplicates keep the younger age; overflow
-// evicts the oldest entry if the newcomer is younger.
-func (n *Node) insert(e wire.ShuffleEntry) {
-	for i := range n.view {
-		if n.view[i].ID == e.ID {
-			if e.Age < n.view[i].Age {
-				n.view[i].Age = e.Age
-			}
-			return
-		}
-	}
-	if len(n.view) < n.cfg.ViewSize {
-		n.view = append(n.view, e)
-		return
-	}
-	oldest := 0
-	for i := range n.view {
-		if n.view[i].Age > n.view[oldest].Age {
-			oldest = i
-		}
-	}
-	if n.view[oldest].Age > e.Age {
-		n.view[oldest] = e
+	if em, ok := n.st.Handle(from, msg); ok {
+		n.env.Send(em.To, em.Msg)
 	}
 }

@@ -297,7 +297,7 @@ func TestInsertKeepsYoungerAge(t *testing.T) {
 	if n.View()[0].Age != 0 {
 		t.Fatal("older duplicate overwrote younger age")
 	}
-	n.view[0].Age = 9
+	n.st.view[0].Age = 9
 	n.HandleMessage(1, wire.Shuffle{Reply: true, Entries: []wire.ShuffleEntry{{ID: 1, Age: 2}}})
 	if n.View()[0].Age != 2 {
 		t.Fatal("younger duplicate did not refresh age")
