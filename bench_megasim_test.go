@@ -64,6 +64,54 @@ func BenchmarkMegasim10kCyclonShards8(b *testing.B) {
 	benchMegasimMembership(b, 10_000, 8, MembershipCyclon)
 }
 
+// BenchmarkMegasim*CyclonPoissonChurn* run the Cyclon scenarios under
+// sustained Poisson churn (≈1% of the population joining and leaving per
+// second, joiners admitted at runtime barriers with bootstrap over live
+// partial views): cmd/benchjson pairs each with its churn-free Cyclon
+// counterpart and records the wall-time and event-count cost of sustained
+// churn in BENCH_sim.json ("megasim_poisson_churn").
+func benchMegasimPoissonChurn(b *testing.B, nodes, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(nodes, shards, simulatedScale)
+		cfg.Seed = 1
+		cfg.Membership = MembershipCyclon
+		rate := 0.01 * float64(nodes)
+		cfg.ChurnProcess = SustainedChurn(rate, rate)
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
+		b.ReportMetric(MeanCompleteFraction(lq, OfflineLag), "complete%")
+		joined := 0
+		for _, n := range res.Nodes {
+			if n.JoinedAt > 0 {
+				joined++
+			}
+		}
+		b.ReportMetric(float64(joined), "joined/op")
+	}
+}
+
+func BenchmarkMegasim2kCyclonPoissonChurnShards1(b *testing.B) {
+	benchMegasimPoissonChurn(b, 2_000, 1)
+}
+func BenchmarkMegasim2kCyclonPoissonChurnShards8(b *testing.B) {
+	benchMegasimPoissonChurn(b, 2_000, 8)
+}
+
+func BenchmarkMegasim10kCyclonPoissonChurnShards8(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimPoissonChurn(b, 10_000, 8)
+}
+
 func BenchmarkMegasim10kShards1(b *testing.B) {
 	if testing.Short() {
 		b.Skip("10k-node scale run skipped in -short mode")

@@ -50,6 +50,10 @@ type Report struct {
 	// of the Cyclon partial-view run over its full-view (SparseView)
 	// counterpart — the cost of realistic membership at scale.
 	CyclonOverheads map[string]float64 `json:"megasim_cyclon_overheads,omitempty"`
+	// PoissonChurn records, per sustained-churn scenario, the wall-time
+	// and event-count ratios over its churn-free counterpart — the cost of
+	// continuous join/leave with runtime bootstrap.
+	PoissonChurn map[string]map[string]float64 `json:"megasim_poisson_churn,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -135,6 +139,7 @@ func run(bench, pkg, out string, timeout time.Duration, short bool) error {
 	}
 	rep.Speedups = speedups(rep.Results)
 	rep.CyclonOverheads = cyclonOverheads(rep.Results)
+	rep.PoissonChurn = poissonChurn(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -164,6 +169,37 @@ func speedups(results []Result) map[string]float64 {
 		if eight, ok := byName[base+"Shards8"]; ok && eight > 0 {
 			out[base] = one / eight
 		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// poissonChurn pairs each sustained-churn result ("...PoissonChurn...")
+// with its churn-free counterpart (the same name minus the marker) and
+// records the wall-time and — when both report events/op — event-count
+// ratios: what continuous join/leave with runtime bootstrap costs on top
+// of the same scenario without churn.
+func poissonChurn(results []Result) map[string]map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	out := map[string]map[string]float64{}
+	for name, churned := range byName {
+		if !strings.Contains(name, "PoissonChurn") {
+			continue
+		}
+		base, ok := byName[strings.Replace(name, "PoissonChurn", "", 1)]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		ratios := map[string]float64{"wall_ratio": churned.NsPerOp / base.NsPerOp}
+		if be, ce := base.Metrics["events/op"], churned.Metrics["events/op"]; be > 0 && ce > 0 {
+			ratios["events_ratio"] = ce / be
+		}
+		out[name] = ratios
 	}
 	if len(out) == 0 {
 		return nil

@@ -45,3 +45,33 @@ func TestCyclonOverheadsEmpty(t *testing.T) {
 		t.Fatalf("overheads = %v, want nil with no Cyclon rows", got)
 	}
 }
+
+func TestPoissonChurnPairing(t *testing.T) {
+	results := []Result{
+		{Name: "Megasim2kCyclonShards1", NsPerOp: 10e9, Metrics: map[string]float64{"events/op": 4e6}},
+		{Name: "Megasim2kCyclonPoissonChurnShards1", NsPerOp: 12e9, Metrics: map[string]float64{"events/op": 5e6}},
+		// Churn row without events metric: wall ratio only.
+		{Name: "Megasim10kCyclonShards8", NsPerOp: 50e9},
+		{Name: "Megasim10kCyclonPoissonChurnShards8", NsPerOp: 55e9},
+		// Unpaired churn row: no entry.
+		{Name: "Megasim100kCyclonPoissonChurnShards8", NsPerOp: 70e9},
+	}
+	got := poissonChurn(results)
+	if len(got) != 2 {
+		t.Fatalf("poissonChurn = %v, want exactly 2 pairs", got)
+	}
+	small := got["Megasim2kCyclonPoissonChurnShards1"]
+	if math.Abs(small["wall_ratio"]-1.2) > 1e-9 || math.Abs(small["events_ratio"]-1.25) > 1e-9 {
+		t.Fatalf("2k ratios = %v, want wall 1.2, events 1.25", small)
+	}
+	big := got["Megasim10kCyclonPoissonChurnShards8"]
+	if math.Abs(big["wall_ratio"]-1.1) > 1e-9 {
+		t.Fatalf("10k wall ratio = %v, want 1.1", big["wall_ratio"])
+	}
+	if _, ok := big["events_ratio"]; ok {
+		t.Fatal("events ratio derived without events metrics")
+	}
+	if got := poissonChurn([]Result{{Name: "Megasim2kShards1", NsPerOp: 1}}); got != nil {
+		t.Fatalf("poissonChurn = %v, want nil with no churn rows", got)
+	}
+}

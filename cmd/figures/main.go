@@ -31,12 +31,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		scale  = fs.Float64("scale", 1.0, "scale factor for nodes and stream length (0,1]")
-		seed   = fs.Int64("seed", 1, "simulation seed")
-		nodes  = fs.Int("nodes", 0, "override system size (0 = paper scale; the sweeps' scale axis)")
-		shards = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
-		outDir = fs.String("out", "figures", "directory for figure text files")
-		only   = fs.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
+		scale   = fs.Float64("scale", 1.0, "scale factor for nodes and stream length (0,1]")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		nodes   = fs.Int("nodes", 0, "override system size (0 = paper scale; the sweeps' scale axis)")
+		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		members = fs.String("membership", "full", "membership substrate for every sweep: full or cyclon")
+		churnAt = fs.String("churn", "0", "base churn for every sweep: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (needs -membership cyclon and -shards >= 1)")
+		outDir  = fs.String("out", "figures", "directory for figure text files")
+		only    = fs.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -60,12 +62,31 @@ func run(args []string, out io.Writer) error {
 	base := gossipstream.DefaultExperiment()
 	base.Seed = *seed
 	// -nodes and -shards re-run the sweeps beyond the paper's 230-node
-	// testbed on the sharded engine (ROADMAP: the Figure 1/3 scale axis).
+	// testbed on the sharded engine (ROADMAP: the Figure 1/3 scale axis);
+	// -membership and -churn put every sweep over partial views and/or
+	// under churn — "-membership cyclon -churn poisson:0.01,0.01" runs the
+	// Figure-style sweeps under sustained join/leave with runtime
+	// bootstrap.
 	if *nodes > 0 {
 		base.Nodes = *nodes
 	}
 	base.Shards = *shards
+	m, err := gossipstream.ParseMembership(*members)
+	if err != nil {
+		return fmt.Errorf("-%w", err)
+	}
+	base.Membership = m
 	opts := gossipstream.FigureOptions{Base: &base, Scale: *scale}
+	// Resolve -churn against the *scaled* configuration the sweeps will
+	// actually run: Poisson rates are fractions of the real population and
+	// the burst instant must land mid-way through the scaled stream, not
+	// the unscaled one.
+	scaled := opts.BaseConfig()
+	if err := gossipstream.ApplyChurnFlag(&scaled, *churnAt); err != nil {
+		return fmt.Errorf("-%w", err)
+	}
+	base.Churn = scaled.Churn
+	base.ChurnProcess = scaled.ChurnProcess
 
 	selected := map[string]bool{}
 	if *only != "" {

@@ -59,3 +59,39 @@ func TestSmokeShardedFigure1(t *testing.T) {
 		t.Fatalf("run did not report completion:\n%s", out.String())
 	}
 }
+
+func TestChurnAndMembershipFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown membership", []string{"-membership", "gospel"}},
+		{"gibberish churn", []string{"-churn", "sometimes"}},
+		{"poisson one rate", []string{"-churn", "poisson:0.01"}},
+		{"poisson bad rate", []string{"-churn", "poisson:a,b"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("args %v accepted, want error", tc.args)
+			}
+		})
+	}
+}
+
+// TestSmokeSustainedChurnFigure1 runs the fanout sweep under sustained
+// Poisson churn over Cyclon views — the "Figure-style sweeps under
+// sustained churn" entry point — at tiny scale.
+func TestSmokeSustainedChurnFigure1(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-only", "1", "-scale", "0.07", "-shards", "2", "-nodes", "48",
+		"-membership", "cyclon", "-churn", "poisson:0.02,0.02", "-out", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "figure1.txt")); err != nil {
+		t.Fatalf("figure1.txt not written: %v", err)
+	}
+}

@@ -12,6 +12,11 @@
 // Example — 100k nodes on the sharded engine, 8 shards, a short stream:
 //
 //	gossipsim -nodes 100000 -shards 8 -windows 14
+//
+// Example — sustained Poisson churn (1% of the population joining and
+// leaving per second) over Cyclon partial views, with runtime bootstrap:
+//
+//	gossipsim -nodes 10000 -shards 8 -windows 9 -membership cyclon -churn poisson:0.01,0.01
 package main
 
 import (
@@ -44,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		feed    = fs.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
 		capKbps = fs.Int64("cap", 700, "upload cap per node in kbps (0 = unlimited)")
 		windows = fs.Int("windows", 120, "stream length in 110-packet windows")
-		churnAt = fs.Float64("churn", 0, "fraction of nodes failing mid-stream (0 = none)")
+		churnAt = fs.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (sustained; joins need -membership cyclon and -shards >= 1)")
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		verbose = fs.Bool("v", false, "print per-node detail")
 	)
@@ -72,8 +77,6 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cap %d: want >= 0", *capKbps)
 	case *windows < 1:
 		return fmt.Errorf("-windows %d: want >= 1", *windows)
-	case *churnAt < 0 || *churnAt > 1:
-		return fmt.Errorf("-churn %v: want a fraction in [0,1]", *churnAt)
 	}
 
 	cfg := gossipstream.DefaultExperiment()
@@ -90,8 +93,8 @@ func run(args []string, out io.Writer) error {
 	cfg.Protocol.FeedEvery = *feed
 	cfg.UploadCapBps = *capKbps * 1000
 	cfg.Layout.Windows = *windows
-	if *churnAt > 0 {
-		cfg.Churn = gossipstream.Catastrophe(cfg.Layout.Duration()/2, *churnAt)
+	if err := gossipstream.ApplyChurnFlag(&cfg, *churnAt); err != nil {
+		return fmt.Errorf("-%w", err)
 	}
 
 	start := time.Now()
@@ -131,6 +134,28 @@ func run(args []string, out io.Writer) error {
 		gossipstream.MeanCompleteFraction(qs, 20*time.Second))
 	fmt.Fprintf(out, "%-28s %7.1f%%\n", "mean complete windows offline",
 		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
+
+	if cfg.ChurnProcess != nil && !cfg.ChurnProcess.IsZero() {
+		// Sustained churn: survivor metrics over all stream windows would
+		// punish joiners for windows published before they existed. Score
+		// each node over the windows it was present for (after a bootstrap
+		// grace of a few shuffle periods).
+		joined, departed := 0, 0
+		for _, n := range res.Nodes {
+			if n.JoinedAt > 0 {
+				joined++
+			}
+			if !n.Survived {
+				departed++
+			}
+		}
+		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "sustained churn: %d joined, %d left; %d of %d nodes present for >= 1 whole window\n",
+			joined, departed, len(lq), len(res.Nodes))
+		fmt.Fprintf(out, "%-28s %7.1f%%\n", "complete windows (present)",
+			gossipstream.MeanCompleteFraction(lq, gossipstream.OfflineLag))
+	}
 
 	dist := res.UploadDistribution()
 	if len(dist) > 0 {

@@ -22,6 +22,12 @@ func TestFlagValidation(t *testing.T) {
 		{"zero windows", []string{"-windows", "0"}},
 		{"churn above one", []string{"-churn", "1.5"}},
 		{"churn below zero", []string{"-churn", "-0.1"}},
+		{"churn gibberish", []string{"-churn", "sometimes"}},
+		{"poisson one rate", []string{"-churn", "poisson:0.01"}},
+		{"poisson bad rate", []string{"-churn", "poisson:0.01,fast"}},
+		{"poisson negative rate", []string{"-churn", "poisson:-0.01,0.01"}},
+		{"poisson joins need cyclon", []string{"-shards", "2", "-churn", "poisson:0.01,0.01"}},
+		{"poisson needs sharded engine", []string{"-membership", "cyclon", "-churn", "poisson:0.01,0.01"}},
 		{"unknown membership", []string{"-membership", "gospel"}},
 		{"unknown flag", []string{"-bogus"}},
 		{"stray argument", []string{"extra"}},
@@ -100,6 +106,24 @@ func TestSmokeRunShardedCyclon(t *testing.T) {
 	v, err := strconv.ParseFloat(m[1], 64)
 	if err != nil || v <= 0 {
 		t.Fatalf("offline completeness = %q, want > 0", m[1])
+	}
+}
+
+// TestSmokeRunSustainedChurn drives the full stack: Poisson joins admitted
+// at runtime over Cyclon views, leaves via the crash path, and the
+// present-node quality report.
+func TestSmokeRunSustainedChurn(t *testing.T) {
+	got := smoke(t, "-nodes", "120", "-windows", "3", "-seed", "3", "-shards", "2",
+		"-membership", "cyclon", "-churn", "poisson:0.02,0.02")
+	if !strings.Contains(got, "sustained churn:") {
+		t.Fatalf("missing sustained-churn report:\n%s", got)
+	}
+	m := regexp.MustCompile(`complete windows \(present\)\s+([0-9.]+)%`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no present-node quality line:\n%s", got)
+	}
+	if v, err := strconv.ParseFloat(m[1], 64); err != nil || v <= 0 {
+		t.Fatalf("present-node completeness = %q, want > 0", m[1])
 	}
 }
 

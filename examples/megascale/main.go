@@ -6,6 +6,11 @@
 //	go run ./examples/megascale -nodes 100000        # the full 100k scenario
 //	go run ./examples/megascale -nodes 20000 -churn 0.2
 //	go run ./examples/megascale -membership cyclon   # realistic partial views
+//
+// Sustained Poisson churn — ≈1% of the population joining and leaving per
+// second, joiners bootstrapping into live Cyclon views at runtime:
+//
+//	go run ./examples/megascale -membership cyclon -churn poisson:0.01,0.01
 package main
 
 import (
@@ -23,7 +28,7 @@ func main() {
 		nodes   = flag.Int("nodes", 10_000, "system size including the source")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
 		secs    = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
-		churn   = flag.Float64("churn", 0, "fraction of nodes failing mid-stream")
+		churn   = flag.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (joins need -membership cyclon)")
 		members = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
@@ -37,8 +42,9 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Membership = m
-	if *churn > 0 {
-		cfg.Churn = gossipstream.Catastrophe(cfg.Layout.Duration()/2, *churn)
+	if err := gossipstream.ApplyChurnFlag(&cfg, *churn); err != nil {
+		fmt.Fprintf(os.Stderr, "megascale: -%v\n", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("simulating %d nodes × %ds of 600 kbps stream on %d shards (%s membership)...\n",
@@ -61,6 +67,11 @@ func main() {
 		gossipstream.PercentViewable(qs, gossipstream.OfflineLag, gossipstream.JitterThreshold))
 	fmt.Printf("mean complete windows:                     %5.1f%%\n",
 		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
+	if cfg.ChurnProcess != nil && !cfg.ChurnProcess.IsZero() {
+		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
+		fmt.Printf("complete windows among present nodes:      %5.1f%% (%d nodes, joiners after bootstrap grace)\n",
+			gossipstream.MeanCompleteFraction(lq, gossipstream.OfflineLag), len(lq))
+	}
 
 	// Network-wide conservation: every message is delivered, lands in a
 	// drop counter (congestion, UDP loss, crashed endpoint), or was still

@@ -26,6 +26,9 @@ package gossipstream
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"gossipstream/internal/churn"
@@ -76,6 +79,9 @@ type (
 	Table = metrics.Table
 	// ChurnEvent is one catastrophic failure burst.
 	ChurnEvent = churn.Event
+	// ChurnProcess describes sustained churn: Poisson join/leave streams
+	// expanded into a deterministic timeline (ExperimentConfig.ChurnProcess).
+	ChurnProcess = churn.Process
 	// ChurnClaimResult quantifies the paper's §1 churn claim.
 	ChurnClaimResult = experiment.ChurnClaimResult
 	// LiveNode is a protocol participant on a real UDP socket.
@@ -193,6 +199,68 @@ func RunExperiments(cfgs []ExperimentConfig) ([]*ExperimentResult, error) {
 // simultaneously at the given time.
 func Catastrophe(at time.Duration, fraction float64) []ChurnEvent {
 	return churn.Catastrophic(at, fraction)
+}
+
+// SustainedChurn returns a churn process with Poisson join and leave
+// streams at the given rates (expected events per simulated second).
+// Assign it to ExperimentConfig.ChurnProcess; sustained churn needs the
+// sharded engine (Shards >= 1) and, when joins are enabled,
+// MembershipCyclon — joining nodes bootstrap into partial views at
+// runtime, which no static sampler can express.
+func SustainedChurn(joinPerSec, leavePerSec float64) *ChurnProcess {
+	p := churn.SustainedPoisson(joinPerSec, leavePerSec)
+	return &p
+}
+
+// ApplyChurnFlag interprets the -churn CLI spelling shared by
+// cmd/gossipsim, cmd/figures and examples/megascale, mutating cfg:
+//
+//   - "" or "0": no churn;
+//   - a fraction in (0, 1]: one catastrophic burst failing that share of
+//     the nodes mid-stream (the paper's §4.3 scenario);
+//   - "poisson:<join>,<leave>": sustained churn, where each rate is the
+//     fraction of the configured population joining/leaving per simulated
+//     second (so "poisson:0.01,0.01" turns over ≈1% of cfg.Nodes every
+//     second).
+//
+// Callers must set cfg.Nodes and cfg.Layout before applying the flag: the
+// Poisson rates scale with the population and the burst instant is half
+// the stream.
+func ApplyChurnFlag(cfg *ExperimentConfig, spec string) error {
+	if spec == "" || spec == "0" {
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "poisson:"); ok {
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("churn %q: want poisson:<join>,<leave>", spec)
+		}
+		rates := make([]float64, 2)
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v < 0 || v > 1 || math.IsNaN(v) {
+				// The cap catches absolute rates passed where fractions
+				// belong: above 1, the whole population would turn over
+				// more than once per second.
+				return fmt.Errorf("churn %q: rate %q: want a fraction of the population per second, in [0, 1]", spec, part)
+			}
+			rates[i] = v
+		}
+		n := float64(cfg.Nodes)
+		cfg.ChurnProcess = SustainedChurn(rates[0]*n, rates[1]*n)
+		return nil
+	}
+	frac, err := strconv.ParseFloat(spec, 64)
+	if err != nil || math.IsNaN(frac) {
+		return fmt.Errorf("churn %q: want a fraction in [0,1] or poisson:<join>,<leave>", spec)
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("churn %v: want a fraction in [0,1]", frac)
+	}
+	if frac > 0 {
+		cfg.Churn = Catastrophe(cfg.Layout.Duration()/2, frac)
+	}
+	return nil
 }
 
 // PercentViewable returns the share of nodes viewing the stream within the

@@ -132,3 +132,58 @@ func TestFacadeLiveCluster(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeApplyChurnFlag pins the shared -churn CLI grammar: burst
+// fractions, sustained poisson specs (rates scale with the configured
+// population), and the rejected spellings.
+func TestFacadeApplyChurnFlag(t *testing.T) {
+	cfg := DefaultExperiment()
+	cfg.Nodes = 500
+	if err := ApplyChurnFlag(&cfg, "0"); err != nil || cfg.Churn != nil || cfg.ChurnProcess != nil {
+		t.Fatalf("no-churn spec mutated config (err %v)", err)
+	}
+	if err := ApplyChurnFlag(&cfg, "0.3"); err != nil || len(cfg.Churn) != 1 {
+		t.Fatalf("burst spec: err %v, churn %+v", err, cfg.Churn)
+	}
+	if cfg.Churn[0].At != cfg.Layout.Duration()/2 || cfg.Churn[0].Fraction != 0.3 {
+		t.Fatalf("burst = %+v, want mid-stream at fraction 0.3", cfg.Churn[0])
+	}
+	if err := ApplyChurnFlag(&cfg, "poisson:0.01,0.02"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ChurnProcess == nil || cfg.ChurnProcess.JoinPerSec != 5 || cfg.ChurnProcess.LeavePerSec != 10 {
+		t.Fatalf("poisson spec = %+v, want rates 5/s and 10/s for 500 nodes", cfg.ChurnProcess)
+	}
+	for _, bad := range []string{"often", "NaN", "-0.1", "1.5", "poisson:", "poisson:1", "poisson:a,b", "poisson:0.1,-2", "poisson:2,0.5", "poisson:0.1,0.2,0.3"} {
+		if err := ApplyChurnFlag(&cfg, bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if p := SustainedChurn(3, 4); p.JoinPerSec != 3 || p.LeavePerSec != 4 || p.IsZero() {
+		t.Fatalf("SustainedChurn = %+v", p)
+	}
+}
+
+// TestFacadeSustainedChurnExperiment runs a small sustained-churn
+// deployment through the public API end to end.
+func TestFacadeSustainedChurnExperiment(t *testing.T) {
+	cfg := smallExperiment()
+	cfg.Nodes = 100
+	cfg.Shards = 2
+	cfg.Membership = MembershipCyclon
+	cfg.ChurnProcess = SustainedChurn(2, 2)
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) <= cfg.Nodes-1 {
+		t.Fatalf("no joins recorded: %d nodes", len(res.Nodes))
+	}
+	lq := res.LifetimeQualities(res.Config.BootstrapGrace())
+	if len(lq) == 0 {
+		t.Fatal("no present-node qualities")
+	}
+	if got := MeanCompleteFraction(lq, OfflineLag); got <= 0 {
+		t.Fatalf("present-node completeness = %.1f%%, want > 0", got)
+	}
+}

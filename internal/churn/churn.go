@@ -4,14 +4,25 @@
 // instant, a random fraction of the nodes crash simultaneously and stay
 // dead. No failure detection or repair runs afterwards — survivors keep
 // selecting partners among all nodes, dead ones included.
+//
+// Beyond the paper, Process models sustained churn: independent Poisson
+// streams of node arrivals and departures, expanded by Timeline into a
+// deterministic, seeded schedule of join/leave events. The catastrophic
+// bursts above fold into the same timeline as a degenerate case, so one
+// executor drives both shapes. Joins require an executor that can admit
+// nodes at runtime (the sharded engine's barrier admission) and a
+// membership substrate that can learn them (partial views, internal/pss).
 package churn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"gossipstream/internal/wire"
+	"gossipstream/internal/xrand"
 )
 
 // Event is one failure burst: at time At, Fraction of the eligible nodes
@@ -50,6 +61,135 @@ func Staggered(start time.Duration, interval time.Duration, count int, totalFrac
 		events[i] = Event{At: start + time.Duration(i)*interval, Fraction: per}
 	}
 	return events
+}
+
+// Op is the kind of one Timeline event.
+type Op uint8
+
+const (
+	// OpJoin admits one new node into the running system.
+	OpJoin Op = iota + 1
+	// OpLeave ungracefully removes one live node — same semantics as a
+	// crash: no goodbye message, descriptors elsewhere age out.
+	OpLeave
+	// OpBurst crashes Fraction of the live nodes at one instant — the
+	// paper's catastrophic scenario as a degenerate case of the process.
+	OpBurst
+)
+
+// String names the op for error messages and logs.
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// TimelineEvent is one scheduled churn action. Fraction is meaningful for
+// OpBurst only.
+type TimelineEvent struct {
+	At       time.Duration
+	Op       Op
+	Fraction float64
+}
+
+// Process describes sustained churn: two independent Poisson streams — node
+// arrivals at JoinPerSec and departures at LeavePerSec — plus optional
+// catastrophic bursts folded into the same schedule. The zero value is a
+// valid no-churn process.
+type Process struct {
+	// JoinPerSec is the expected number of node arrivals per simulated
+	// second (0 disables joins). Arrivals are a Poisson process: Timeline
+	// draws exponential inter-arrival times.
+	JoinPerSec float64
+	// LeavePerSec is the expected number of departures per simulated second
+	// (0 disables). The executor picks each victim uniformly among the live
+	// non-source nodes at event time.
+	LeavePerSec float64
+	// Bursts lists catastrophic events to merge into the timeline — the
+	// paper's burst schedule as a degenerate case of the process.
+	Bursts []Event
+}
+
+// SustainedPoisson returns a process with the given Poisson join and leave
+// rates (events per simulated second) and no bursts.
+func SustainedPoisson(joinPerSec, leavePerSec float64) Process {
+	return Process{JoinPerSec: joinPerSec, LeavePerSec: leavePerSec}
+}
+
+// MaxRate bounds the Poisson rates Validate accepts: a million events per
+// simulated second is far beyond any deployment scenario, and an
+// unbounded rate would let a typo materialize a timeline of billions of
+// events (every one an engine barrier) instead of failing validation.
+const MaxRate = 1e6
+
+// Validate reports whether the process is well formed.
+func (p Process) Validate() error {
+	if bad := p.JoinPerSec; bad < 0 || math.IsNaN(bad) || bad > MaxRate {
+		return fmt.Errorf("churn: JoinPerSec = %v, want in [0, %g]", bad, float64(MaxRate))
+	}
+	if bad := p.LeavePerSec; bad < 0 || math.IsNaN(bad) || bad > MaxRate {
+		return fmt.Errorf("churn: LeavePerSec = %v, want in [0, %g]", bad, float64(MaxRate))
+	}
+	for _, e := range p.Bursts {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsZero reports whether the process describes no churn at all.
+func (p Process) IsZero() bool {
+	return p.JoinPerSec == 0 && p.LeavePerSec == 0 && len(p.Bursts) == 0
+}
+
+// Timeline expands the process into a deterministic event schedule over
+// [0, horizon): exponential inter-arrival times for the join and leave
+// streams are drawn from private splitmix64 streams over seed, merged with
+// the bursts in time order. The result is a pure function of (p, seed,
+// horizon) — the replay-determinism of sustained-churn experiments rests on
+// it. Events at equal instants order joins first, then leaves, then bursts.
+func (p Process) Timeline(seed int64, horizon time.Duration) []TimelineEvent {
+	var out []TimelineEvent
+	appendPoisson := func(rate float64, op Op, salt int64) {
+		if rate <= 0 {
+			return
+		}
+		rng := xrand.Seeded(seed ^ salt)
+		at := time.Duration(0)
+		for {
+			// Exponential inter-arrival: -ln(1-U)/rate seconds, U in [0,1).
+			// The 1 ns floor guarantees progress (and loop termination) even
+			// for draws that truncate to zero at MaxRate-scale rates.
+			dt := time.Duration(-math.Log(1-rng.Float64()) / rate * float64(time.Second))
+			if dt <= 0 {
+				dt = 1
+			}
+			at += dt
+			if at >= horizon {
+				return
+			}
+			out = append(out, TimelineEvent{At: at, Op: op})
+		}
+	}
+	appendPoisson(p.JoinPerSec, OpJoin, 0x6a6f696e)   // "join"
+	appendPoisson(p.LeavePerSec, OpLeave, 0x6c656176) // "leav"
+	for _, e := range p.Bursts {
+		if e.At < horizon {
+			out = append(out, TimelineEvent{At: e.At, Op: OpBurst, Fraction: e.Fraction})
+		}
+	}
+	// Stable by time: the append order above (joins, leaves, bursts) is the
+	// deterministic tie-break.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
 }
 
 // Pick selects the victims of an event: a uniformly random subset of the

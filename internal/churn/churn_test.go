@@ -1,7 +1,9 @@
 package churn
 
 import (
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -122,5 +124,137 @@ func TestPickUniform(t *testing.T) {
 		if float64(c) < want*0.8 || float64(c) > want*1.2 {
 			t.Fatalf("node %d picked %d times, want ≈%.0f", id, c, want)
 		}
+	}
+}
+
+func TestProcessValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Process
+		ok   bool
+	}{
+		{"zero", Process{}, true},
+		{"rates", SustainedPoisson(2, 3), true},
+		{"with bursts", Process{Bursts: Catastrophic(time.Second, 0.5)}, true},
+		{"negative join", Process{JoinPerSec: -1}, false},
+		{"nan leave", Process{LeavePerSec: math.NaN()}, false},
+		{"inf join", Process{JoinPerSec: math.Inf(1)}, false},
+		{"rate at cap", SustainedPoisson(MaxRate, 0), true},
+		{"rate over cap", SustainedPoisson(0, 2*MaxRate), false},
+		{"bad burst", Process{Bursts: []Event{{At: -time.Second}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+	if !(Process{}).IsZero() || SustainedPoisson(1, 0).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+}
+
+// TestTimelineDeterministic: the schedule is a pure function of (process,
+// seed, horizon) — the foundation of sustained-churn replay determinism.
+func TestTimelineDeterministic(t *testing.T) {
+	p := SustainedPoisson(5, 3)
+	a := p.Timeline(42, time.Minute)
+	b := p.Timeline(42, time.Minute)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, horizon) produced different timelines")
+	}
+	c := p.Timeline(43, time.Minute)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+// TestTimelineOrderedAndBounded: events come sorted by time, inside the
+// horizon, and carry the right ops.
+func TestTimelineOrderedAndBounded(t *testing.T) {
+	p := Process{JoinPerSec: 4, LeavePerSec: 2, Bursts: []Event{
+		{At: 10 * time.Second, Fraction: 0.3},
+		{At: 90 * time.Second, Fraction: 0.1}, // beyond horizon: dropped
+	}}
+	tl := p.Timeline(7, time.Minute)
+	joins, leaves, bursts := 0, 0, 0
+	for i, ev := range tl {
+		if ev.At < 0 || ev.At >= time.Minute {
+			t.Fatalf("event %d at %v outside [0, 1m)", i, ev.At)
+		}
+		if i > 0 && ev.At < tl[i-1].At {
+			t.Fatalf("event %d at %v before predecessor %v", i, ev.At, tl[i-1].At)
+		}
+		switch ev.Op {
+		case OpJoin:
+			joins++
+		case OpLeave:
+			leaves++
+		case OpBurst:
+			bursts++
+			if ev.Fraction != 0.3 {
+				t.Fatalf("burst fraction %v, want 0.3", ev.Fraction)
+			}
+		default:
+			t.Fatalf("event %d has unknown op %v", i, ev.Op)
+		}
+	}
+	if bursts != 1 {
+		t.Fatalf("got %d bursts inside the horizon, want 1", bursts)
+	}
+	if joins == 0 || leaves == 0 {
+		t.Fatalf("got %d joins, %d leaves, want both > 0", joins, leaves)
+	}
+}
+
+// TestTimelinePoissonRates: over a long horizon the event counts must match
+// the configured rates (law of large numbers; 10% tolerance at ~2000
+// expected events per stream).
+func TestTimelinePoissonRates(t *testing.T) {
+	const horizon = 1000 * time.Second
+	p := SustainedPoisson(2, 1)
+	joins, leaves := 0, 0
+	for _, ev := range p.Timeline(11, horizon) {
+		switch ev.Op {
+		case OpJoin:
+			joins++
+		case OpLeave:
+			leaves++
+		}
+	}
+	if joins < 1800 || joins > 2200 {
+		t.Fatalf("joins = %d over 1000 s at 2/s, want ≈2000", joins)
+	}
+	if leaves < 900 || leaves > 1100 {
+		t.Fatalf("leaves = %d over 1000 s at 1/s, want ≈1000", leaves)
+	}
+}
+
+// TestTimelineDegenerateBurst: a process with only bursts reproduces the
+// classic schedule exactly.
+func TestTimelineDegenerateBurst(t *testing.T) {
+	p := Process{Bursts: Staggered(10*time.Second, 5*time.Second, 3, 0.3)}
+	tl := p.Timeline(1, time.Minute)
+	if len(tl) != 3 {
+		t.Fatalf("got %d events, want 3", len(tl))
+	}
+	for i, ev := range tl {
+		want := 10*time.Second + time.Duration(i)*5*time.Second
+		if ev.Op != OpBurst || ev.At != want || math.Abs(ev.Fraction-0.1) > 1e-9 {
+			t.Fatalf("event %d = %+v, want burst at %v fraction 0.1", i, ev, want)
+		}
+	}
+	if got := (Process{}).Timeline(1, time.Minute); len(got) != 0 {
+		t.Fatalf("zero process produced %d events", len(got))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpJoin.String() != "join" || OpLeave.String() != "leave" || OpBurst.String() != "burst" {
+		t.Fatal("Op.String names wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Fatalf("unknown op string = %q", Op(9).String())
 	}
 }

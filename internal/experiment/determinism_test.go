@@ -202,3 +202,61 @@ func TestShardedCatastropheAndHeterogeneous(t *testing.T) {
 func ChurnAt(at time.Duration, fraction float64) []churn.Event {
 	return []churn.Event{{At: at, Fraction: fraction}}
 }
+
+// TestSharded10kPoissonChurnTwin is the sustained-churn acceptance run: two
+// 10k-node sharded deployments under Poisson churn (join ≈ leave ≈ 1% of
+// the population per second) over Cyclon partial views must produce
+// deep-equal Results with byte-identical quality metrics — runtime
+// admission replays exactly — and the nodes present for whole windows
+// (after the bootstrap/delivery grace) must still see >= 95% of their
+// windows complete. Skipped under -short and the race detector.
+func TestSharded10kPoissonChurnTwin(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("10k-node acceptance run skipped in -short / race mode")
+	}
+	cfg := Defaults()
+	cfg.Nodes = 10_000
+	cfg.Shards = 4
+	cfg.Seed = 1
+	cfg.Layout.Windows = 9 // ≈16 s of stream
+	cfg.Drain = 8 * time.Second
+	cfg.Membership = MembershipCyclon
+	proc := churn.SustainedPoisson(100, 100) // 1%/s of the initial 10k
+	cfg.ChurnProcess = &proc
+
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("10k Poisson churn: identical (seed, shards) produced different Results")
+	}
+	if qualityHash(t, a) != qualityHash(t, b) {
+		t.Fatal("10k Poisson churn: quality metrics not byte-identical")
+	}
+
+	joined, departed := 0, 0
+	for _, n := range a.Nodes {
+		if n.JoinedAt > 0 {
+			joined++
+		}
+		if !n.Survived {
+			departed++
+		}
+	}
+	// ≈16 s at 100/s each way: sanity-check the process actually churned.
+	if joined < 1000 || departed < 1000 {
+		t.Fatalf("joined = %d, departed = %d, want >= 1000 each", joined, departed)
+	}
+	qs := a.LifetimeQualities(cfg.BootstrapGrace())
+	got := metrics.MeanCompleteFraction(qs, metrics.InfiniteLag)
+	t.Logf("10k Poisson churn: %d joined, %d departed, %.2f%% mean complete windows over %d present nodes (%d events)",
+		joined, departed, got, len(qs), a.Events)
+	if got < 95 {
+		t.Fatalf("mean complete windows among present nodes = %.2f%%, want >= 95%%", got)
+	}
+}

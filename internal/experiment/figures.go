@@ -35,6 +35,19 @@ func (o Options) base() Config {
 	return cfg
 }
 
+// scoringQualities returns the node qualities a figure scores. Under a
+// sustained churn process the population is lifetime-masked (a node
+// admitted at runtime is not charged for windows published before it
+// existed, nor a departing one for windows still propagating when it
+// left — Result.LifetimeQualities); every other scenario keeps the
+// paper's survivor population.
+func scoringQualities(res *Result) []metrics.Quality {
+	if p := res.Config.ChurnProcess; p != nil && !p.IsZero() {
+		return res.LifetimeQualities(res.Config.BootstrapGrace())
+	}
+	return res.SurvivorQualities()
+}
+
 // figureLags are the stream-lag columns of Figures 1, 3, 5, 6 and 7.
 var figureLags = []struct {
 	name string
@@ -71,7 +84,7 @@ func Figure1(opts Options, fanouts []int) (*metrics.Table, []*Result, error) {
 		"Figure 1: % nodes with <1% jitter vs fanout (700 kbps cap)",
 		"fanout", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := res.SurvivorQualities()
+		qs := scoringQualities(res)
 		tb.AddRow(
 			fmt.Sprintf("%d", fanouts[i]),
 			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
@@ -117,7 +130,7 @@ func Figure2(opts Options, fanouts []int, results []*Result) (*metrics.Table, er
 		cols...)
 	qualities := make([][]metrics.Quality, len(results))
 	for i, res := range results {
-		qualities[i] = res.SurvivorQualities()
+		qualities[i] = scoringQualities(res)
 	}
 	for _, probe := range Figure2Probes {
 		row := []string{fmt.Sprintf("%.0fs", probe.Seconds())}
@@ -168,7 +181,7 @@ func Figure3(opts Options, fanouts []int, capsBps []int64) (*metrics.Table, erro
 	for i, f := range fanouts {
 		row := []string{fmt.Sprintf("%d", f)}
 		for c := range capsBps {
-			qs := results[c*len(fanouts)+i].SurvivorQualities()
+			qs := scoringQualities(results[c*len(fanouts)+i])
 			row = append(row,
 				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
 				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 10*time.Second, metrics.DefaultJitterThreshold)))
@@ -256,7 +269,7 @@ func Figure5(opts Options, rates []int) (*metrics.Table, error) {
 		"Figure 5: % nodes with ≤1% jitter vs view refresh rate X (f=7, 700 kbps)",
 		"X", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := res.SurvivorQualities()
+		qs := scoringQualities(res)
 		tb.AddRow(
 			rateLabel(rates[i]),
 			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
@@ -293,7 +306,7 @@ func Figure6(opts Options, rates []int) (*metrics.Table, error) {
 		"Figure 6: % nodes with ≤1% jitter vs feed-me rate Y (X=∞, f=7, 700 kbps)",
 		"Y", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := res.SurvivorQualities()
+		qs := scoringQualities(res)
 		tb.AddRow(
 			rateLabel(rates[i]),
 			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
@@ -324,6 +337,10 @@ func churnSweep(opts Options, churns []float64, refreshes []int) ([]float64, []i
 		for _, frac := range churns {
 			cfg := opts.base()
 			cfg.Protocol.RefreshEvery = x
+			// The sweep owns the burst axis: clear any base bursts so the
+			// frac = 0 row is genuinely burst-free. A base ChurnProcess —
+			// the sustained-churn mode — stays in force across the grid.
+			cfg.Churn = nil
 			if frac > 0 {
 				cfg.Churn = churn.Catastrophic(cfg.Layout.Duration()/2, frac)
 			}
@@ -355,7 +372,7 @@ func Figure7(opts Options, churns []float64, refreshes []int) (*metrics.Table, [
 	for ci, frac := range churns {
 		row := []string{fmt.Sprintf("%.0f", frac*100)}
 		for xi := range refreshes {
-			qs := results[xi*len(churns)+ci].SurvivorQualities()
+			qs := scoringQualities(results[xi*len(churns)+ci])
 			row = append(row,
 				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 20*time.Second, metrics.DefaultJitterThreshold)),
 				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)))
@@ -395,7 +412,7 @@ func Figure8(opts Options, churns []float64, refreshes []int, results []*Result)
 	for ci, frac := range churns {
 		row := []string{fmt.Sprintf("%.0f", frac*100)}
 		for xi := range refreshes {
-			qs := results[xi*len(churns)+ci].SurvivorQualities()
+			qs := scoringQualities(results[xi*len(churns)+ci])
 			row = append(row, fmt.Sprintf("%.1f", metrics.MeanCompleteFraction(qs, 20*time.Second)))
 		}
 		tb.AddRow(row...)

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"gossipstream/internal/churn"
 	"gossipstream/internal/member"
+	"gossipstream/internal/metrics"
 )
 
 // tinyOptions shrinks figure runs to seconds for tests.
@@ -190,5 +192,53 @@ func TestChurnClaimSmallScale(t *testing.T) {
 func TestRateLabel(t *testing.T) {
 	if rateLabel(member.Never) != "inf" || rateLabel(7) != "7" {
 		t.Fatal("rateLabel wrong")
+	}
+}
+
+// TestChurnSweepOwnsBurstAxis: Figure 7's grid must override any base
+// bursts — the 0%-churn row of a run started with `-churn 0.3` has to be
+// genuinely burst-free, while a base sustained-churn process stays in
+// force across the grid.
+func TestChurnSweepOwnsBurstAxis(t *testing.T) {
+	opts := tinyOptions()
+	opts.Base.Churn = ChurnAt(opts.Base.Layout.Duration()/2, 0.3)
+	_, _, results, err := churnSweep(opts, []float64{0, 0.2}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Config.Churn; got != nil {
+		t.Fatalf("0%%-churn row ran with base bursts %+v", got)
+	}
+	if got := results[1].Config.Churn; len(got) != 1 || got[0].Fraction != 0.2 {
+		t.Fatalf("0.2-churn row ran with bursts %+v, want the grid's own", got)
+	}
+	for _, res := range results[:1] {
+		for _, n := range res.Nodes {
+			if !n.Survived {
+				t.Fatal("zero-churn row killed nodes")
+			}
+		}
+	}
+}
+
+// TestFiguresScoreLifetimeUnderProcess: under a sustained churn process the
+// figure tables must score lifetime-masked qualities, not punish joiners
+// for windows published before they existed.
+func TestFiguresScoreLifetimeUnderProcess(t *testing.T) {
+	opts := tinyOptions()
+	opts.Base.Nodes = 120
+	opts.Base.Shards = 2
+	opts.Base.Membership = MembershipCyclon
+	proc := churn.SustainedPoisson(2, 2)
+	opts.Base.ChurnProcess = &proc
+	tb, results, err := Figure1(opts, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metrics.MeanCompleteFraction(
+		results[0].LifetimeQualities(results[0].Config.BootstrapGrace()), metrics.InfiniteLag)
+	got := parseCell(t, tb.Row(0)[4])
+	if diff := want - got; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("figure scored %.1f%%, want lifetime-masked %.1f%%", got, want)
 	}
 }

@@ -71,6 +71,15 @@ type Config struct {
 	Net simnet.Config
 	// Churn lists failure bursts; victims are non-source nodes.
 	Churn []churn.Event
+	// ChurnProcess, when non-nil and non-zero, runs sustained churn: a
+	// deterministic Poisson timeline of joins and leaves over the stream's
+	// duration (see churn.Process). Joining nodes are admitted at engine
+	// barriers with a Cyclon view bootstrapped from live descriptors;
+	// leaving nodes crash. Requires the sharded engine (Shards >= 1) —
+	// runtime admission is a megasim capability — and, when JoinPerSec > 0,
+	// MembershipCyclon: a static full-view sampler can never learn nodes
+	// that did not exist at setup.
+	ChurnProcess *churn.Process
 	// Drain is extra simulated time after the stream ends, letting
 	// throttled queues flush (offline viewing needs it).
 	Drain time.Duration
@@ -139,6 +148,17 @@ func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("experiment: Shards = %d, want >= 0", c.Shards)
 	}
+	if p := c.ChurnProcess; p != nil && !p.IsZero() {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if c.Shards < 1 {
+			return fmt.Errorf("experiment: ChurnProcess requires the sharded engine (Shards >= 1): the single-threaded kernel cannot admit nodes at runtime")
+		}
+		if p.JoinPerSec > 0 && c.Membership != MembershipCyclon {
+			return fmt.Errorf("experiment: ChurnProcess with joins requires MembershipCyclon: a static full-view sampler cannot learn nodes admitted at runtime")
+		}
+	}
 	// Both engines support both membership substrates (the sharded engine
 	// gained Cyclon partial views with megasim.AttachSampler). A substrate
 	// neither engine knows must fail loudly here — naming the engine the
@@ -160,6 +180,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// BootstrapGrace returns the standard grace for scoring sustained-churn
+// runs (Result.LifetimeQualities): five shuffle periods of the run's
+// Cyclon parameterization. On the join side that is the time a joining
+// node needs to plant its descriptor in enough live views that proposals
+// reach it at the steady-state rate; on the leave side it approximates the
+// dissemination lag a window needs before departure-truncated windows stop
+// dominating (measured at 10k nodes: windows ending within ~2 window
+// spans of a departure complete at 0–18%, three spans out at 80%+).
+func (c Config) BootstrapGrace() time.Duration {
+	return 5 * c.effectivePSS().Period
+}
+
 // effectivePSS resolves the Cyclon parameterization a run will use: the
 // zero value selects pss.DefaultConfig. Validate and both engines resolve
 // through this one helper so they can never disagree.
@@ -174,8 +206,21 @@ func (c Config) effectivePSS() pss.Config {
 type NodeResult struct {
 	ID       wire.NodeID
 	Survived bool
-	Quality  metrics.Quality
-	// UploadKbps is the node's average upload rate over the run.
+	// JoinedAt is when the node entered the system: 0 for setup-time nodes,
+	// the admission barrier time for nodes joined by a sustained-churn
+	// process.
+	JoinedAt time.Duration
+	// LeftAt is when the node crashed or departed; for nodes alive at the
+	// end it is the run's duration.
+	LeftAt  time.Duration
+	Quality metrics.Quality
+	// UploadKbps is the node's average upload rate over the whole run
+	// duration — the bandwidth-cost convention of Figure 4. For nodes that
+	// joined or departed mid-run it understates the in-lifetime rate;
+	// divide Stats.TotalSentBytes() by (LeftAt - JoinedAt) for that.
+	// (The run-duration divisor is kept deliberately: a lifetime divisor
+	// would let a node crashed moments after filling its uplink queue
+	// report above its cap, since sent bytes are counted at enqueue.)
 	UploadKbps float64
 	// BaseLatencyMS is the node's drawn base latency.
 	BaseLatencyMS float64
@@ -204,6 +249,52 @@ func (r *Result) SurvivorQualities() []metrics.Quality {
 	for _, n := range r.Nodes {
 		if n.Survived {
 			out = append(out, n.Quality)
+		}
+	}
+	return out
+}
+
+// LifetimeQualities returns one Quality per non-source node, restricted to
+// the windows fully contained in the node's lifetime shrunk by grace on
+// both ends — the population of sustained-churn quality reports, where
+// "complete windows" is only meaningful for windows a node was around
+// for. A window counts for a node when its publish span lies inside
+// [JoinedAt+grace, LeftAt-grace]; on the join side grace is a bootstrap
+// allowance (a node admitted at runtime needs a few shuffle periods before
+// live views hold its descriptor and proposals start flowing), on the
+// leave side a delivery allowance (a window published moments before a
+// departure was still propagating — gossip dissemination lags the publish
+// by a few seconds — so its incompleteness measures the departure, not the
+// protocol). Neither side applies to the nodes that did not join or leave.
+// Nodes with no eligible window — joined too late, or dead too early —
+// are omitted. With no churn at all, LifetimeQualities(grace) equals
+// SurvivorQualities.
+func (r *Result) LifetimeQualities(grace time.Duration) []metrics.Quality {
+	l := r.Config.Layout
+	out := make([]metrics.Quality, 0, len(r.Nodes))
+	for _, n := range r.Nodes {
+		var lags []time.Duration
+		lastEnd := n.LeftAt
+		if !n.Survived {
+			lastEnd -= grace
+		}
+		for w := 0; w < n.Quality.Windows(); w++ {
+			start := time.Duration(w*l.DataPerWindow) * l.PacketTime()
+			end := l.WindowPublishTime(w)
+			if n.JoinedAt > 0 && start < n.JoinedAt+grace {
+				continue
+			}
+			if end > lastEnd {
+				continue
+			}
+			lag, ok := n.Quality.WindowLag(w)
+			if !ok {
+				lag = metrics.NeverCompleted
+			}
+			lags = append(lags, lag)
+		}
+		if len(lags) > 0 {
+			out = append(out, metrics.QualityFromLags(lags))
 		}
 	}
 	return out
@@ -287,17 +378,18 @@ func Run(cfg Config) (*Result, error) {
 			samplers[id].Stop()
 		}
 	}
+	left := make([]time.Duration, cfg.Nodes)
 	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	for _, ev := range cfg.Churn {
 		ev := ev
 		sched.At(ev.At, func() {
-			crashBurst(net, peers, stopSampler, ev, churnRng)
+			crashBurst(net, peers, stopSampler, func(id wire.NodeID) { left[id] = ev.At }, ev, churnRng)
 		})
 	}
 
 	end := cfg.Layout.Duration() + cfg.Drain
 	sched.RunUntil(end)
-	return collectResult(cfg, end, net, peers, sched.Fired()), nil
+	return collectResult(cfg, end, net, peers, sched.Fired(), nil, left), nil
 }
 
 // substrate is the surface both simulation engines (simnet.Network and
@@ -324,29 +416,48 @@ func nodeCap(cfg Config, i int) int64 {
 	}
 }
 
-// crashBurst executes one churn event: victims are picked from the
-// non-source nodes still alive, crashed in the network, and their
-// protocol (and, via stopSampler, membership) state stopped. stopSampler
-// may be nil when the run has no per-node sampling state to silence.
-func crashBurst(eng substrate, peers []*core.Peer, stopSampler func(wire.NodeID), ev churn.Event, rng *rand.Rand) {
+// aliveNonSource returns the non-source nodes still alive — the victim
+// pool of every churn shape (bursts and sustained leaves).
+func aliveNonSource(eng substrate, peers []*core.Peer) []wire.NodeID {
 	var eligible []wire.NodeID
 	for i := 1; i < len(peers); i++ {
 		if eng.Alive(wire.NodeID(i)) {
 			eligible = append(eligible, wire.NodeID(i))
 		}
 	}
-	for _, victim := range churn.Pick(eligible, ev.Fraction, rng) {
-		eng.Crash(victim)
-		peers[victim].Stop()
-		if stopSampler != nil {
-			stopSampler(victim)
-		}
+	return eligible
+}
+
+// crashNode executes one ungraceful departure: the victim is silenced in
+// the network, its protocol state stopped, its membership record (via
+// stopSampler, which may be nil) stopped, and the departure recorded (via
+// onCrash, which may be nil). Bursts and sustained leaves share it so
+// crash semantics cannot diverge between churn shapes.
+func crashNode(eng substrate, peers []*core.Peer, stopSampler, onCrash func(wire.NodeID), victim wire.NodeID) {
+	eng.Crash(victim)
+	peers[victim].Stop()
+	if stopSampler != nil {
+		stopSampler(victim)
+	}
+	if onCrash != nil {
+		onCrash(victim)
+	}
+}
+
+// crashBurst executes one churn event: victims are picked from the
+// non-source nodes still alive and depart ungracefully.
+func crashBurst(eng substrate, peers []*core.Peer, stopSampler, onCrash func(wire.NodeID), ev churn.Event, rng *rand.Rand) {
+	for _, victim := range churn.Pick(aliveNonSource(eng, peers), ev.Fraction, rng) {
+		crashNode(eng, peers, stopSampler, onCrash, victim)
 	}
 }
 
 // collectResult assembles the Result every engine reports: source
-// counters plus one NodeResult per non-source node.
-func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.Peer, events uint64) *Result {
+// counters plus one NodeResult per non-source node (setup-time and
+// runtime-admitted alike). joined and left carry per-node lifetime
+// bookkeeping — either may be nil (no tracking: everyone joined at 0) and
+// a zero left entry means the node was never seen leaving.
+func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.Peer, events uint64, joined, left []time.Duration) *Result {
 	res := &Result{
 		Config:         cfg,
 		Duration:       end,
@@ -354,13 +465,27 @@ func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.P
 		SourceStats:    eng.NodeStats(0),
 		Events:         events,
 	}
-	res.Nodes = make([]NodeResult, 0, cfg.Nodes-1)
-	for i := 1; i < cfg.Nodes; i++ {
+	res.Nodes = make([]NodeResult, 0, len(peers)-1)
+	for i := 1; i < len(peers); i++ {
 		id := wire.NodeID(i)
 		stats := eng.NodeStats(id)
+		survived := eng.Alive(id)
+		var joinedAt time.Duration
+		if joined != nil {
+			joinedAt = joined[i]
+		}
+		leftAt := end
+		if !survived {
+			leftAt = 0
+			if left != nil {
+				leftAt = left[i]
+			}
+		}
 		res.Nodes = append(res.Nodes, NodeResult{
 			ID:            id,
-			Survived:      eng.Alive(id),
+			Survived:      survived,
+			JoinedAt:      joinedAt,
+			LeftAt:        leftAt,
 			Quality:       metrics.Evaluate(peers[i].Receiver(), cfg.Layout),
 			UploadKbps:    float64(stats.TotalSentBytes()) * 8 / end.Seconds() / 1000,
 			BaseLatencyMS: float64(eng.BaseLatency(id)) / float64(time.Millisecond),

@@ -3,7 +3,9 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
+	"gossipstream/internal/churn"
 	"gossipstream/internal/core"
 	"gossipstream/internal/megasim"
 	"gossipstream/internal/member"
@@ -28,6 +30,15 @@ import (
 //   - compact per-node RNG state (megasim.NewRand) instead of the 5 KB
 //     default source.
 //
+// Beyond the classic engine's burst-only churn, this path executes a
+// sustained churn process (cfg.ChurnProcess): the deterministic Poisson
+// timeline is expanded before Run and every event becomes an engine
+// barrier — joins admit a node at runtime with a Cyclon view bootstrapped
+// from live descriptors, leaves crash one random live node, bursts reuse
+// the catastrophic path. Lifetimes are recorded so results can score
+// quality over the windows each node was actually present for
+// (Result.LifetimeQualities).
+//
 // Results are therefore deterministic per (Seed, Shards) but not
 // bit-identical to the single-threaded engine's.
 func runSharded(cfg Config) (*Result, error) {
@@ -49,47 +60,38 @@ func runSharded(cfg Config) (*Result, error) {
 	pssCfg := cfg.effectivePSS()
 	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
 
-	peers := make([]*core.Peer, cfg.Nodes)
-	var states []*pss.State // nil under MembershipFull
+	d := deployment{
+		cfg:    cfg,
+		eng:    eng,
+		pssCfg: pssCfg,
+		peers:  make([]*core.Peer, cfg.Nodes),
+		joined: make([]time.Duration, cfg.Nodes),
+		left:   make([]time.Duration, cfg.Nodes),
+	}
 	if cfg.Membership == MembershipCyclon {
-		states = make([]*pss.State, cfg.Nodes)
+		d.states = make([]*pss.State, cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := wire.NodeID(i)
-		rng := megasim.NewRand(cfg.Seed<<20 + int64(i))
-		env := eng.NodeEnv(id, rng)
-		var sampler member.Sampler
-		if states != nil {
-			boot := bootstrapIDs(id, cfg.Nodes, pssCfg.ShuffleLen, bootRng)
-			// The record's stream is decorrelated from the node's protocol
-			// stream (seeded cfg.Seed<<20 + i) by a distinct salt.
-			states[i], err = pss.NewState(id, pssCfg, cfg.Seed<<20+0x707373+int64(i), boot)
-			if err != nil {
-				return nil, err
-			}
-			sampler = states[i]
-		} else {
-			sampler = member.NewSparseView(id, cfg.Nodes, rng)
+		var boot []wire.NodeID
+		if d.states != nil {
+			boot = bootstrapIDs(id, cfg.Nodes, pssCfg.ShuffleLen, bootRng)
 		}
-		var p *core.Peer
+		var src0 *stream.Source
 		if i == 0 {
-			p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
-		} else {
-			p, err = core.NewPeer(env, cfg.Protocol, sampler, cfg.Layout)
+			src0 = src
 		}
+		p, st, err := d.buildNode(id, boot, src0)
 		if err != nil {
 			return nil, err
 		}
-		peers[i] = p
-		if got := eng.AddNode(p, nodeCap(cfg, i), cfg.QueueBytes); got != id {
-			return nil, fmt.Errorf("experiment: node id drift: got %d, want %d", got, id)
-		}
-		if states != nil {
-			eng.AttachSampler(id, states[i], pssCfg.Period)
+		d.peers[i] = p
+		if d.states != nil {
+			d.states[i] = st
 		}
 	}
 
-	for _, p := range peers {
+	for _, p := range d.peers {
 		p.Start()
 	}
 
@@ -98,21 +100,163 @@ func runSharded(cfg Config) (*Result, error) {
 	// engine already ends a crashed node's shuffle schedule and dead-drops
 	// its membership traffic; stopping the record as well just mirrors the
 	// classic path's bookkeeping.
-	var stopSampler func(wire.NodeID)
-	if states != nil {
-		stopSampler = func(id wire.NodeID) { states[id].Stop() }
-	}
 	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	for _, ev := range cfg.Churn {
 		ev := ev
 		eng.AtBarrier(ev.At, func() {
-			crashBurst(eng, peers, stopSampler, ev, churnRng)
+			crashBurst(eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = ev.At }, ev, churnRng)
 		})
+	}
+
+	// The sustained churn process: its deterministic timeline is expanded
+	// up front (AtBarrier is setup-only), then each event runs at its own
+	// engine barrier. The process covers the stream's duration — churn
+	// while the content flows is what exercises runtime bootstrap; the
+	// drain then measures how the survivors settle.
+	if p := cfg.ChurnProcess; p != nil && !p.IsZero() {
+		procRng := rand.New(rand.NewSource(cfg.Seed + 8161))
+		for _, tev := range p.Timeline(cfg.Seed, cfg.Layout.Duration()) {
+			tev := tev
+			switch tev.Op {
+			case churn.OpJoin:
+				eng.AtBarrier(tev.At, func() { d.admit(tev.At, procRng) })
+			case churn.OpLeave:
+				eng.AtBarrier(tev.At, func() { d.leave(tev.At, procRng) })
+			case churn.OpBurst:
+				eng.AtBarrier(tev.At, func() {
+					crashBurst(eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = tev.At }, churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
+				})
+			default:
+				return nil, fmt.Errorf("experiment: unknown churn op %v", tev.Op)
+			}
+		}
 	}
 
 	end := cfg.Layout.Duration() + cfg.Drain
 	if err := eng.Run(end); err != nil {
 		return nil, err
 	}
-	return collectResult(cfg, end, eng, peers, eng.Fired()), nil
+	if d.err != nil {
+		return nil, d.err
+	}
+	return collectResult(cfg, end, eng, d.peers, eng.Fired(), d.joined, d.left), nil
+}
+
+// deployment is the mutable state of one sharded run: the per-node slices
+// grow when the churn process admits nodes at barriers.
+type deployment struct {
+	cfg    Config
+	eng    *megasim.Engine
+	pssCfg pss.Config
+	peers  []*core.Peer
+	states []*pss.State // nil under MembershipFull
+	joined []time.Duration
+	left   []time.Duration
+	err    error // first admission failure, surfaced after Run
+}
+
+// stopSampler silences a crashed or departed node's membership record; a
+// no-op under static membership.
+func (d *deployment) stopSampler(id wire.NodeID) {
+	if d.states != nil {
+		d.states[id].Stop()
+	}
+}
+
+// buildNode constructs and registers one node on the engine — the single
+// definition of a node's seeding and wiring, shared by the setup loop and
+// runtime admission so the two paths cannot drift. The protocol stream is
+// seeded Seed<<20 + id; a non-nil boot selects a Cyclon record (seeded
+// with a distinct salt to decorrelate it from the protocol stream, and
+// attached to the engine), nil boot a static SparseView; a non-nil src
+// makes the node the stream source.
+func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.Source) (*core.Peer, *pss.State, error) {
+	cfg := d.cfg
+	rng := megasim.NewRand(cfg.Seed<<20 + int64(id))
+	env := d.eng.NodeEnv(id, rng)
+	var sampler member.Sampler
+	var st *pss.State
+	if boot != nil {
+		var err error
+		st, err = pss.NewState(id, d.pssCfg, cfg.Seed<<20+0x707373+int64(id), boot)
+		if err != nil {
+			return nil, nil, err
+		}
+		sampler = st
+	} else {
+		sampler = member.NewSparseView(id, cfg.Nodes, rng)
+	}
+	var p *core.Peer
+	var err error
+	if src != nil {
+		p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
+	} else {
+		p, err = core.NewPeer(env, cfg.Protocol, sampler, cfg.Layout)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := d.eng.AddNode(p, nodeCap(cfg, int(id)), cfg.QueueBytes); got != id {
+		return nil, nil, fmt.Errorf("experiment: node id drift: got %d, want %d", got, id)
+	}
+	if st != nil {
+		d.eng.AttachSampler(id, st, d.pssCfg.Period)
+	}
+	return p, st, nil
+}
+
+// admit runs inside a join barrier: it grows the engine's node arena by one
+// peer whose Cyclon view is bootstrapped from descriptors of currently
+// live nodes, attaches its membership record, and starts its protocol
+// clock. Everything draws from deterministic streams keyed by the dense
+// node id, so replays admit identical nodes.
+func (d *deployment) admit(at time.Duration, rng *rand.Rand) {
+	if d.err != nil {
+		return
+	}
+	id := wire.NodeID(d.eng.N())
+	boot := d.liveBootstrapIDs(id, d.pssCfg.ShuffleLen, rng)
+	p, st, err := d.buildNode(id, boot, nil)
+	if err != nil {
+		d.err = fmt.Errorf("experiment: admitting node %d: %w", id, err)
+		return
+	}
+	d.peers = append(d.peers, p)
+	d.states = append(d.states, st)
+	d.joined = append(d.joined, at)
+	d.left = append(d.left, 0)
+	p.Start()
+}
+
+// leave runs inside a leave barrier: one uniformly random live non-source
+// node departs ungracefully — the crash path, exactly like a burst victim.
+// With nobody left to remove, the event is a no-op.
+func (d *deployment) leave(at time.Duration, rng *rand.Rand) {
+	eligible := aliveNonSource(d.eng, d.peers)
+	if len(eligible) == 0 {
+		return
+	}
+	victim := eligible[rng.Intn(len(eligible))]
+	crashNode(d.eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = at }, victim)
+}
+
+// liveBootstrapIDs samples up to k distinct live nodes (excluding self) to
+// seed a joining node's view — the runtime analogue of bootstrapIDs, which
+// can assume every id in [0, n) exists. Scanning the arena keeps the draw
+// count deterministic regardless of how much of the population is dead.
+func (d *deployment) liveBootstrapIDs(self wire.NodeID, k int, rng *rand.Rand) []wire.NodeID {
+	alive := make([]wire.NodeID, 0, d.eng.N())
+	for i := 0; i < d.eng.N(); i++ {
+		if id := wire.NodeID(i); id != self && d.eng.Alive(id) {
+			alive = append(alive, id)
+		}
+	}
+	if k > len(alive) {
+		k = len(alive)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(alive)-i)
+		alive[i], alive[j] = alive[j], alive[i]
+	}
+	return alive[:k]
 }

@@ -53,6 +53,21 @@
 // path as protocol traffic. Cross-shard shuffles are handed over at
 // barriers exactly like streaming messages, so runs with membership
 // enabled keep the bit-identical fixed-(seed, shards) guarantee.
+//
+// # Runtime admission
+//
+// Topology is not fixed at Run: AtBarrier callbacks may admit nodes while
+// the simulation is in flight (AddNode, then AttachSampler and Start-ing
+// node logic), which is what sustained join/leave churn needs — a joining
+// node bootstraps from live descriptors and converges through the same
+// shuffle traffic as everyone else. Admission happens with every shard
+// quiescent: the node-state arena grows, the new node lands on its
+// round-robin shard, its first events are scheduled at the barrier time
+// plus de-phasing offsets, and a runtime-drawn base latency is clamped so
+// the lookahead fixed at Run stays a valid bound. Departures are just
+// Crash: the tick chain ends, descriptors elsewhere age out. Because
+// admission runs at barriers in schedule order and draws from the setup
+// streams, runs with runtime churn keep full replay determinism.
 package megasim
 
 import (
@@ -126,9 +141,18 @@ type Engine struct {
 	tickRng   *rand.Rand
 	pairSalt  uint64
 	lookahead time.Duration
+	// admitBase is the smallest base latency a node admitted at runtime may
+	// carry: the lookahead was derived from the setup population's minimum
+	// base, so a later draw below it would break the conservative window
+	// bound. Runtime draws clamp to it.
+	admitBase time.Duration
 	globals   []globalEvent
 	now       time.Duration
 	running   bool
+	// inBarrier is true while AtBarrier callbacks execute: every shard is
+	// quiescent there, which is what makes runtime node admission
+	// (AddNode/AttachSampler from a callback) safe.
+	inBarrier bool
 	ran       bool
 
 	phaseWg  sync.WaitGroup
@@ -166,13 +190,20 @@ func New(cfg Config) (*Engine, error) {
 // shaping.Unlimited for none) and uplink queue bound in bytes, drawing its
 // base latency from the configured distribution. Nodes are assigned to
 // shards round-robin by id.
+//
+// AddNode is legal during setup and — runtime admission, the substrate of
+// sustained-churn experiments — inside an AtBarrier callback, where every
+// shard is quiescent: the node-state arena may grow, the new node's id
+// extends the dense id space, and its first events (Start timers, sampler
+// ticks) are scheduled relative to the barrier time. A base latency drawn
+// at runtime is clamped from below so the engine's conservative lookahead,
+// fixed at Run from the setup population, stays a valid lower bound on
+// every pair latency.
 func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 	if h == nil {
 		panic("megasim: nil handler")
 	}
-	if e.ran || e.running {
-		panic("megasim: AddNode after Run")
-	}
+	e.checkMutable("AddNode")
 	id := NodeID(len(e.nodes))
 	base := e.cfg.Net.BaseLatencyMedian
 	if base <= 0 {
@@ -182,12 +213,29 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 		factor := math.Exp(e.setup.NormFloat64() * e.cfg.Net.BaseLatencySigma)
 		base = time.Duration(float64(base) * factor)
 	}
+	if e.running && base < e.admitBase {
+		base = e.admitBase
+	}
 	var up shaping.Shaper
 	if upBps != shaping.Unlimited {
 		up = *shaping.NewShaper(upBps, queueBytes)
 	}
 	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
 	return id
+}
+
+// checkMutable panics unless the engine is in a state where topology may
+// change: setup (before Run) or an AtBarrier callback (shards quiescent).
+func (e *Engine) checkMutable(op string) {
+	if e.running {
+		if !e.inBarrier {
+			panic(fmt.Sprintf("megasim: %s during Run outside a barrier callback", op))
+		}
+		return
+	}
+	if e.ran {
+		panic(fmt.Sprintf("megasim: %s after Run", op))
+	}
 }
 
 // AttachSampler registers a dynamic membership record for an added node
@@ -199,7 +247,10 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 // Cross-shard shuffles ride the same per-(src,dst) outboxes as every
 // other message and are folded in at barriers in deterministic shard
 // order. A crashed node's tick chain ends at its next tick; its
-// descriptors elsewhere age out of live views. Only legal before Run.
+// descriptors elsewhere age out of live views. Legal during setup and,
+// like AddNode, inside an AtBarrier callback — a node admitted at runtime
+// (bootstrap over partial views) gets its first tick de-phased from the
+// barrier time.
 func (e *Engine) AttachSampler(id NodeID, d member.DynamicSampler, period time.Duration) {
 	if d == nil {
 		panic("megasim: nil sampler")
@@ -207,9 +258,7 @@ func (e *Engine) AttachSampler(id NodeID, d member.DynamicSampler, period time.D
 	if period <= 0 {
 		panic(fmt.Sprintf("megasim: sampler period %v", period))
 	}
-	if e.ran || e.running {
-		panic("megasim: AttachSampler after Run")
-	}
+	e.checkMutable("AttachSampler")
 	nd := e.node(id)
 	if nd.sampler != nil {
 		panic(fmt.Sprintf("megasim: node %d already has a sampler", id))
@@ -217,7 +266,7 @@ func (e *Engine) AttachSampler(id NodeID, d member.DynamicSampler, period time.D
 	nd.sampler = d
 	nd.tickEvery = period
 	sh := e.shards[int(id)%len(e.shards)]
-	sh.pushMemberTick(time.Duration(e.tickRng.Int63n(int64(period))), id)
+	sh.pushMemberTick(e.now+time.Duration(e.tickRng.Int63n(int64(period))), id)
 }
 
 // memberTick runs one membership round for the node: dead nodes end their
@@ -286,8 +335,9 @@ func (e *Engine) Fired() uint64 {
 
 // AtBarrier schedules fn to run at virtual time t with every shard
 // quiescent: all events before t have executed, none at or after t has.
-// Callbacks may inspect or mutate any node (Crash, stopping node logic).
-// Events at exactly t run after the callback. Only legal before Run.
+// Callbacks may inspect or mutate any node (Crash, stopping node logic)
+// and may admit new ones (AddNode, AttachSampler). Events at exactly t run
+// after the callback. Only legal before Run.
 func (e *Engine) AtBarrier(t time.Duration, fn func()) {
 	if t < 0 {
 		panic(fmt.Sprintf("megasim: barrier at negative time %v", t))
@@ -343,6 +393,11 @@ func (e *Engine) Run(until time.Duration) error {
 	} else {
 		e.lookahead = time.Millisecond
 	}
+	// Smallest base a runtime-admitted node may carry so that every pair
+	// latency keeps respecting the lookahead: ceil inverts the truncating
+	// multiplication above.
+	e.admitBase = time.Duration(math.Ceil(float64(e.lookahead) /
+		((1 - e.cfg.Net.PairSpread) * (1 - e.cfg.Net.JitterFrac))))
 	sort.SliceStable(e.globals, func(i, j int) bool { return e.globals[i].at < e.globals[j].at })
 
 	parallel := len(e.shards) > 1
@@ -381,10 +436,22 @@ func (e *Engine) Run(until time.Duration) error {
 			if tg > e.now {
 				e.now = tg
 			}
+			// Advance every quiescent shard clock to the barrier instant
+			// (all executed events lie strictly before it, all pending ones
+			// at or after), so work a callback schedules — a Start timer or
+			// first sampler tick of an admitted node — lands relative to
+			// the barrier, never in a shard's past.
+			for _, s := range e.shards {
+				if s.now < tg {
+					s.now = tg
+				}
+			}
+			e.inBarrier = true
 			for gi < len(e.globals) && e.globals[gi].at == tg {
 				e.globals[gi].fn()
 				gi++
 			}
+			e.inBarrier = false
 			continue
 		}
 		if t0 >= horizon {

@@ -1,0 +1,139 @@
+package pss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"gossipstream/internal/member"
+	"gossipstream/internal/wire"
+)
+
+// Differential pin: the timer-driven Node is a thin adapter over State —
+// same seed and same event order must produce identical emissions and
+// identical view contents at every step, so the classic kernel (which
+// drives Node) and megasim (which drives State directly) cannot drift
+// apart silently.
+
+// diffEnv is a minimal pss.Env: it records sends and runs timers by hand.
+type diffEnv struct {
+	id     wire.NodeID
+	rng    *rand.Rand
+	sends  []member.Emit
+	timers []func()
+}
+
+func (e *diffEnv) ID() wire.NodeID  { return e.id }
+func (e *diffEnv) Rand() *rand.Rand { return e.rng }
+func (e *diffEnv) Send(to wire.NodeID, msg wire.Message) {
+	e.sends = append(e.sends, member.Emit{To: to, Msg: msg})
+}
+func (e *diffEnv) After(d time.Duration, fn func()) func() {
+	e.timers = append(e.timers, fn)
+	return func() {}
+}
+
+// fire pops and runs the oldest pending timer (the node's next tick).
+func (e *diffEnv) fire(t *testing.T) {
+	t.Helper()
+	if len(e.timers) == 0 {
+		t.Fatal("no pending timer")
+	}
+	fn := e.timers[0]
+	e.timers = e.timers[1:]
+	fn()
+}
+
+// takeSends drains the recorded emissions.
+func (e *diffEnv) takeSends() []member.Emit {
+	out := e.sends
+	e.sends = nil
+	return out
+}
+
+func TestNodeStateDifferential(t *testing.T) {
+	const envSeed = 99
+	cfg := Config{ViewSize: 12, ShuffleLen: 5, Period: time.Second}
+	boot := []wire.NodeID{2, 5, 8, 11}
+
+	// Node draws its record seed from env.Rand in New; reproduce that draw
+	// from an identical source so the twin State shares the stream.
+	seedRng := rand.New(rand.NewSource(envSeed))
+	stateSeed := seedRng.Int63n(1 << 62)
+
+	env := &diffEnv{id: 1, rng: rand.New(rand.NewSource(envSeed))}
+	node, err := New(env, cfg, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(1, cfg, stateSeed, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start() // arms the de-phasing timer; the offset draw is irrelevant to view state
+
+	// A deterministic peer population feeds both twins the same inbound
+	// traffic: scripted shuffle requests and replies with varied ids/ages.
+	script := rand.New(rand.NewSource(7))
+	inbound := func(step int) (wire.NodeID, wire.Shuffle) {
+		from := wire.NodeID(2 + script.Intn(40))
+		n := 1 + script.Intn(cfg.ShuffleLen)
+		entries := make([]wire.ShuffleEntry, n)
+		for i := range entries {
+			entries[i] = wire.ShuffleEntry{
+				ID:  wire.NodeID(script.Intn(43)), // may include self and duplicates
+				Age: uint16(script.Intn(30)),
+			}
+		}
+		return from, wire.Shuffle{Reply: step%3 == 2, Entries: entries}
+	}
+
+	for step := 0; step < 200; step++ {
+		var nodeEmits []member.Emit
+		var stateEmits []member.Emit
+		if step%2 == 0 {
+			// One shuffle round on each twin. The node's tick re-arms its
+			// timer and sends through the env; the state returns the
+			// emission directly.
+			env.fire(t)
+			nodeEmits = env.takeSends()
+			if em, ok := st.Tick(); ok {
+				stateEmits = append(stateEmits, em)
+			}
+		} else {
+			from, msg := inbound(step)
+			node.HandleMessage(from, msg)
+			nodeEmits = env.takeSends()
+			if em, ok := st.Handle(from, msg); ok {
+				stateEmits = append(stateEmits, em)
+			}
+		}
+		if !reflect.DeepEqual(nodeEmits, stateEmits) {
+			t.Fatalf("step %d: node emitted %+v, state emitted %+v", step, nodeEmits, stateEmits)
+		}
+		if !reflect.DeepEqual(node.View(), st.View()) {
+			t.Fatalf("step %d: views diverged\nnode:  %+v\nstate: %+v", step, node.View(), st.View())
+		}
+		if node.State().ShufflesSent() != st.ShufflesSent() ||
+			node.State().ShufflesAnswered() != st.ShufflesAnswered() {
+			t.Fatalf("step %d: counters diverged", step)
+		}
+	}
+	if st.ShufflesSent() == 0 || st.ShufflesAnswered() == 0 {
+		t.Fatal("script never exercised sends or answers")
+	}
+
+	// Stop pins the adapter's halt semantics to the record's: a stopped
+	// node ignores traffic exactly like a stopped state.
+	node.Stop()
+	st.Stop()
+	from, msg := inbound(0)
+	node.HandleMessage(from, msg)
+	if _, ok := st.Handle(from, msg); ok || len(env.takeSends()) != 0 {
+		t.Fatal("stopped twins still talk")
+	}
+	if !reflect.DeepEqual(node.View(), st.View()) {
+		t.Fatal("stopped views diverged")
+	}
+}

@@ -1,0 +1,118 @@
+package pss
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gossipstream/internal/wire"
+)
+
+// FuzzStateMerge drives a State with an arbitrary interleaving of Tick
+// rounds and inbound shuffle requests/replies decoded from fuzz data, and
+// asserts the view invariants the rest of the stack leans on after every
+// operation:
+//
+//   - the view never exceeds its bound;
+//   - the node never holds its own descriptor;
+//   - no node id appears twice;
+//   - everything the state emits (requests and replies) is itself a
+//     well-formed shuffle: bounded, duplicate-free, and — replies only —
+//     free of the self-descriptor (a request deliberately carries it).
+//
+// Example-based merge tests cover the happy paths; this hunts for corner
+// interleavings (hostile ages, self-descriptors in inbound samples,
+// overflow eviction racing duplicate suppression).
+func FuzzStateMerge(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x01, 0x02})
+	f.Add(int64(7), []byte{
+		0x13, 0x05, 0x02, 0xFF, 0x07, 0x00, 0x00, // handle: entries with odd ids/ages
+		0x00,                   // tick
+		0x80, 0x03, 0x01, 0x02, // reply-flagged handle
+	})
+	f.Add(int64(42), []byte{0x00, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x55, 0xAA})
+
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		cfg := Config{
+			ViewSize:   1 + int(data[0]%31),
+			ShuffleLen: 1,
+			Period:     1, // unused by State itself
+		}
+		cfg.ShuffleLen = 1 + int(data[1])%cfg.ViewSize
+		const self wire.NodeID = 3
+		const population = 16 // small id space: collisions and self-hits are common
+		st, err := NewState(self, cfg, seed, []wire.NodeID{1, 2, 4, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(op string, view []wire.ShuffleEntry, allowSelf bool, bound int) {
+			if len(view) > bound {
+				t.Fatalf("%s: %d entries exceed bound %d", op, len(view), bound)
+			}
+			seen := make(map[wire.NodeID]bool, len(view))
+			for _, e := range view {
+				if e.ID == self && !allowSelf {
+					t.Fatalf("%s: holds self-descriptor", op)
+				}
+				if e.ID != self && seen[e.ID] {
+					t.Fatalf("%s: duplicate descriptor for node %d", op, e.ID)
+				}
+				seen[e.ID] = true
+			}
+		}
+
+		data = data[2:]
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			if op%4 == 0 {
+				// One shuffle round. The emitted request may carry the
+				// self-descriptor (by design, exactly once) but must obey
+				// the other invariants.
+				if em, ok := st.Tick(); ok {
+					sh := em.Msg.(wire.Shuffle)
+					if sh.Reply {
+						t.Fatal("tick emitted a reply-flagged shuffle")
+					}
+					check("tick emission", sh.Entries, true, cfg.ShuffleLen)
+					if em.To == self {
+						t.Fatal("tick targeted self")
+					}
+				}
+			} else {
+				// One inbound message: from, reply flag, and up to
+				// ShuffleLen+2 entries decoded from the stream (ids may
+				// collide, include self, or be outside the bootstrap set;
+				// ages may be hostile).
+				if len(data) < 2 {
+					break
+				}
+				from := wire.NodeID(data[0] % population)
+				n := int(data[1]) % (cfg.ShuffleLen + 3)
+				data = data[2:]
+				entries := make([]wire.ShuffleEntry, 0, n)
+				for i := 0; i < n && len(data) >= 3; i++ {
+					entries = append(entries, wire.ShuffleEntry{
+						ID:  wire.NodeID(data[0] % population),
+						Age: binary.LittleEndian.Uint16(data[1:3]),
+					})
+					data = data[3:]
+				}
+				if em, ok := st.Handle(from, wire.Shuffle{Reply: op%4 == 1, Entries: entries}); ok {
+					sh := em.Msg.(wire.Shuffle)
+					if !sh.Reply {
+						t.Fatal("handle emitted a non-reply")
+					}
+					if em.To != from {
+						t.Fatalf("reply addressed to %d, want requester %d", em.To, from)
+					}
+					check("reply emission", sh.Entries, false, cfg.ShuffleLen)
+				}
+			}
+			check("view", st.View(), false, cfg.ViewSize)
+		}
+	})
+}
