@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chModuleRoot runs the driver from the module root, where the relative
+// fixture paths below resolve.
+func chModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(filepath.Dir(filepath.Dir(wd)))
+}
+
+const dirtyFixture = "./internal/simlint/maprange/testdata/src/core"
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"maprange", "wallclock", "hotalloc", "rngstream"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":         {"-definitely-not-a-flag"},
+		"unknown analyzer": {"-only", "nosuch"},
+		"bad pattern":      {"./does/not/exist"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("%s (%v): exit %d, want 2 (stderr %q)", name, args, code, errOut.String())
+		}
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	chModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"./internal/xrand"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean package: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean package produced output: %s", out.String())
+	}
+}
+
+// TestFindingsExitOne drives the driver over the maprange regression
+// fixture — the PR 2 core.retransmit map-iteration shape — and expects
+// findings with exit code 1.
+func TestFindingsExitOne(t *testing.T) {
+	chModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{dirtyFixture}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty fixture: exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "range over map") || !strings.Contains(out.String(), "(maprange)") {
+		t.Errorf("missing maprange finding in output:\n%s", out.String())
+	}
+}
+
+// TestOnlySelectsAnalyzers confirms -only drops the other analyzers: the
+// dirty maprange fixture is clean under wallclock alone.
+func TestOnlySelectsAnalyzers(t *testing.T) {
+	chModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "wallclock", dirtyFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("-only wallclock on maprange fixture: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestClassificationFlags reclassifies the fixture's package segments:
+// adding "core" to -wallclock-ok outranks its deterministic class, so the
+// maprange findings disappear.
+func TestClassificationFlags(t *testing.T) {
+	chModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-wallclock-ok", "core", dirtyFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("reclassified fixture: exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	// And the reverse: promoting an unclassified package makes the
+	// analyzer see it.
+	out.Reset()
+	errOut.Reset()
+	quiet := "./internal/simlint/maprange/testdata/src/util"
+	if code := run([]string{quiet}, &out, &errOut); code != 0 {
+		t.Fatalf("unclassified fixture: exit %d, want 0 (stdout %s)", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-deterministic", "util", quiet}, &out, &errOut); code != 1 {
+		t.Fatalf("promoted fixture: exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "range over map") {
+		t.Errorf("promoted fixture missing maprange finding:\n%s", out.String())
+	}
+}

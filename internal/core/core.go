@@ -253,6 +253,7 @@ func (p *Peer) Stop() {
 		p.cancelTick()
 		p.cancelTick = nil
 	}
+	//lint:ordered each cancel only tombstones its own timer; the effects commute
 	for _, cancel := range p.retCancels {
 		cancel()
 	}

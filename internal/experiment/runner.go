@@ -27,6 +27,7 @@ import (
 	"gossipstream/internal/simnet"
 	"gossipstream/internal/stream"
 	"gossipstream/internal/wire"
+	"gossipstream/internal/xrand"
 )
 
 // Membership selects the partner-sampling substrate.
@@ -332,13 +333,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	pssCfg := cfg.effectivePSS()
-	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
+	bootRng := xrand.New(cfg.Seed + 4049)
 
 	peers := make([]*core.Peer, cfg.Nodes)
 	samplers := make([]*pss.Node, cfg.Nodes) // nil under MembershipFull
 	for i := 0; i < cfg.Nodes; i++ {
 		id := wire.NodeID(i)
-		rng := rand.New(rand.NewSource(cfg.Seed<<20 + int64(i)))
+		rng := xrand.New(cfg.Seed<<20 + int64(i))
 		env := &nodeEnv{id: id, net: net, sched: sched, rng: rng}
 		var sampler member.Sampler
 		if cfg.Membership == MembershipCyclon {
@@ -379,7 +380,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	left := make([]time.Duration, cfg.Nodes)
-	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	churnRng := xrand.New(cfg.Seed + 7919)
 	for _, ev := range cfg.Churn {
 		ev := ev
 		sched.At(ev.At, func() {
@@ -524,6 +525,7 @@ func bootstrapIDs(self wire.NodeID, n, k int, rng *rand.Rand) []wire.NodeID {
 		}
 	}
 	out := make([]wire.NodeID, 0, len(ids))
+	//lint:ordered collected ids are insertion-sorted immediately below
 	for id := range ids {
 		out = append(out, id)
 	}

@@ -12,6 +12,7 @@ import (
 	"gossipstream/internal/pss"
 	"gossipstream/internal/stream"
 	"gossipstream/internal/wire"
+	"gossipstream/internal/xrand"
 )
 
 // runSharded executes one deployment on the sharded engine. It mirrors Run
@@ -58,7 +59,7 @@ func runSharded(cfg Config) (*Result, error) {
 	}
 
 	pssCfg := cfg.effectivePSS()
-	bootRng := rand.New(rand.NewSource(cfg.Seed + 4049))
+	bootRng := xrand.New(cfg.Seed + 4049)
 
 	d := deployment{
 		cfg:    cfg,
@@ -100,7 +101,7 @@ func runSharded(cfg Config) (*Result, error) {
 	// engine already ends a crashed node's shuffle schedule and dead-drops
 	// its membership traffic; stopping the record as well just mirrors the
 	// classic path's bookkeeping.
-	churnRng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	churnRng := xrand.New(cfg.Seed + 7919)
 	for _, ev := range cfg.Churn {
 		ev := ev
 		eng.AtBarrier(ev.At, func() {
@@ -114,7 +115,7 @@ func runSharded(cfg Config) (*Result, error) {
 	// while the content flows is what exercises runtime bootstrap; the
 	// drain then measures how the survivors settle.
 	if p := cfg.ChurnProcess; p != nil && !p.IsZero() {
-		procRng := rand.New(rand.NewSource(cfg.Seed + 8161))
+		procRng := xrand.New(cfg.Seed + 8161)
 		for _, tev := range p.Timeline(cfg.Seed, cfg.Layout.Duration()) {
 			tev := tev
 			switch tev.Op {

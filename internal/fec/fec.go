@@ -209,6 +209,7 @@ func (c *Code) gather(sc *decodeScratch, shares []Share) (int, error) {
 	}
 	for i := 0; i < c.k; i++ {
 		if sc.have[i] == nil {
+			//lint:pooled sc.missing is pool-owned scratch; capacity persists across decode calls
 			sc.missing = append(sc.missing, i)
 		}
 	}
@@ -223,13 +224,17 @@ func (c *Code) gather(sc *decodeScratch, shares []Share) (int, error) {
 func (c *Code) decodeMatrix(sc *decodeScratch) (*gf256.Matrix, error) {
 	for i := 0; i < c.k; i++ {
 		if sc.have[i] != nil {
+			//lint:pooled sc.rowIdx is pool-owned scratch; capacity persists across decode calls
 			sc.rowIdx = append(sc.rowIdx, byte(i))
+			//lint:pooled sc.rows is pool-owned scratch; capacity persists across decode calls
 			sc.rows = append(sc.rows, sc.have[i])
 		}
 	}
 	for i := c.k; i < c.k+c.m && len(sc.rowIdx) < c.k; i++ {
 		if sc.have[i] != nil {
+			//lint:pooled sc.rowIdx is pool-owned scratch; capacity persists across decode calls
 			sc.rowIdx = append(sc.rowIdx, byte(i))
+			//lint:pooled sc.rows is pool-owned scratch; capacity persists across decode calls
 			sc.rows = append(sc.rows, sc.have[i])
 		}
 	}
@@ -253,6 +258,7 @@ func (c *Code) decodeMatrix(sc *decodeScratch) (*gf256.Matrix, error) {
 	c.invMu.Lock()
 	if len(c.invCache) >= maxCachedInversions {
 		// Evict an arbitrary entry; any recurring pattern re-earns its slot.
+		//lint:ordered eviction choice only affects cache hit rate; decoded bytes are identical for any victim
 		for key := range c.invCache {
 			delete(c.invCache, key)
 			break

@@ -530,6 +530,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 	if d == sh.id {
 		sh.pushDelivery(at, from, to, int32(size), msg)
 	} else {
+		//lint:pooled outbox capacity is reused across windows; mergeInbound resets it to [:0]
 		sh.outbox[d] = append(sh.outbox[d], xmsg{at: at, from: from, to: to, size: int32(size), msg: msg})
 	}
 }

@@ -199,6 +199,7 @@ func (s *shard) pushMemberTick(at time.Duration, id NodeID) {
 func (s *shard) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
+	//lint:pooled the heap's backing array persists for the shard's lifetime; growth amortizes to steady state
 	s.heap = append(s.heap, ev)
 	s.siftUp(len(s.heap) - 1)
 }

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func f(m map[int]int) int {
+	n := 0
+	//lint:ordered commutative sum
+	for _, v := range m {
+		n += v
+	}
+	for k := range m { //lint:ordered trailing form works too
+		n += k
+	}
+	//lint:ordered
+	for range m {
+	}
+	return n
+}
+`
+
+func passFor(t *testing.T, src string) (*Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pass{
+		Analyzer: &Analyzer{Name: "test"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+	}
+	return p, f
+}
+
+func rangeStmts(f *ast.File) []*ast.RangeStmt {
+	var rs []*ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rs = append(rs, r)
+		}
+		return true
+	})
+	return rs
+}
+
+func TestDirectiveLookup(t *testing.T) {
+	p, f := passFor(t, directiveSrc)
+	var diags []Diagnostic
+	p.Report = func(d Diagnostic) { diags = append(diags, d) }
+	rs := rangeStmts(f)
+	if len(rs) != 3 {
+		t.Fatalf("got %d range statements, want 3", len(rs))
+	}
+
+	if just, ok := p.Directive(rs[0].Pos(), "ordered"); !ok || just != "commutative sum" {
+		t.Errorf("line-above directive: got (%q, %v)", just, ok)
+	}
+	if just, ok := p.Directive(rs[1].Pos(), "ordered"); !ok || just != "trailing form works too" {
+		t.Errorf("trailing directive: got (%q, %v)", just, ok)
+	}
+	if _, ok := p.Directive(rs[0].Pos(), "pooled"); ok {
+		t.Error("verb mismatch must not match")
+	}
+
+	if !p.Suppressed(rs[0].Pos(), "ordered") {
+		t.Error("justified directive must suppress")
+	}
+	if p.Suppressed(rs[2].Pos(), "ordered") {
+		t.Error("justification-free directive must not suppress")
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "without a justification") {
+		t.Errorf("expected one missing-justification diagnostic, got %v", diags)
+	}
+}
+
+func TestRunOrdersDiagnostics(t *testing.T) {
+	p, f := passFor(t, directiveSrc)
+	_ = p
+	a := &Analyzer{
+		Name: "emitter",
+		Run: func(pass *Pass) error {
+			rs := rangeStmts(pass.Files[0])
+			// Report out of order; Run must sort by position.
+			pass.Reportf(rs[2].Pos(), "third")
+			pass.Reportf(rs[0].Pos(), "first")
+			return nil
+		},
+	}
+	diags, err := Run(a, p.Fset, []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Message != "first" || diags[1].Message != "third" {
+		t.Fatalf("diagnostics not position-ordered: %v", diags)
+	}
+	if diags[0].Analyzer != "emitter" {
+		t.Errorf("diagnostic analyzer = %q", diags[0].Analyzer)
+	}
+}
+
+func TestWalkStack(t *testing.T) {
+	_, f := passFor(t, `package p
+func g() {
+	panic(h(1))
+}
+func h(int) string { return "" }
+`)
+	sawInner := false
+	WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "1" {
+			sawInner = true
+			panics := 0
+			for _, anc := range stack {
+				if call, ok := anc.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panics++
+					}
+				}
+			}
+			if panics != 1 {
+				t.Errorf("stack at literal 1 contains %d panic calls, want 1", panics)
+			}
+		}
+		return true
+	})
+	if !sawInner {
+		t.Fatal("walk never reached the inner literal")
+	}
+}
+
+func TestPkgPathOf(t *testing.T) {
+	if got := PkgPathOf(nil); got != "" {
+		t.Errorf("PkgPathOf(nil) = %q, want empty", got)
+	}
+	pkg := types.NewPackage("example/p", "p")
+	obj := types.NewVar(token.NoPos, pkg, "x", types.Typ[types.Int])
+	if got := PkgPathOf(obj); got != "example/p" {
+		t.Errorf("PkgPathOf = %q, want example/p", got)
+	}
+	universe := types.Universe.Lookup("true")
+	if got := PkgPathOf(universe); got != "" {
+		t.Errorf("PkgPathOf(universe true) = %q, want empty", got)
+	}
+}

@@ -1,0 +1,22 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"gossipstream/internal/simlint/hotalloc"
+	"gossipstream/internal/simlint/lintcfg"
+	"gossipstream/internal/simlint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, hotalloc.New(lintcfg.Default()), "testdata", "megasim")
+}
+
+// TestCustomRoots exercises the config plumbing: the same fixture with no
+// hot roots configured must produce no findings at all.
+func TestCustomRoots(t *testing.T) {
+	cfg := lintcfg.Default()
+	cfg.HotRoots = map[string][]string{}
+	diagsFree := hotalloc.New(cfg)
+	linttest.Run(t, diagsFree, "testdata", "quiet")
+}

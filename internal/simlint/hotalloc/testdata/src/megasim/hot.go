@@ -1,0 +1,101 @@
+// Package megasim is a hotalloc fixture shaped like the sharded engine's
+// dispatch loop: (*shard).runWindow is the configured hot root, and the
+// analyzer audits everything statically reachable from it.
+package megasim
+
+import "fmt"
+
+type event struct {
+	at  int64
+	fn  func()
+	arg int
+}
+
+type logger interface {
+	Log(v any)
+}
+
+type shard struct {
+	heap    []event
+	scratch []int
+	out     logger
+}
+
+// runWindow is the configured hot root; step and emit are reachable
+// through static calls.
+func (s *shard) runWindow(end int64) {
+	for len(s.heap) > 0 && s.heap[0].at < end {
+		ev := s.pop()
+		if s.validate(ev) == nil {
+			s.step(ev)
+		}
+	}
+}
+
+func (s *shard) pop() event {
+	ev := s.heap[0]
+	s.heap = s.heap[:len(s.heap)-1]
+	return ev
+}
+
+// step shows all three audited allocation shapes.
+func (s *shard) step(ev event) {
+	cancel := func() { ev.fn = nil } // want `function literal in hot path \(\(\*shard\)\.step\)`
+	_ = cancel
+
+	s.scratch = append(s.scratch, ev.arg) // want `append in hot path \(\(\*shard\)\.step\)`
+
+	//lint:pooled scratch capacity persists for the shard's lifetime
+	s.scratch = append(s.scratch, ev.arg) // annotated: fine
+
+	s.out.Log(ev.arg) // want `argument boxes int into any in hot path \(\(\*shard\)\.step\)`
+
+	s.out.Log(&ev) // pointer-shaped values box without allocating: fine
+
+	s.emit(any(ev.arg)) // want `conversion to any boxes a concrete value in hot path \(\(\*shard\)\.step\)`
+
+	if ev.at < 0 {
+		// Cold paths stay exempt: panic arguments never run per event.
+		panic(fmt.Sprintf("megasim: event at %d before shard clock", ev.at))
+	}
+}
+
+func (s *shard) emit(v any) {
+	if s.out != nil {
+		s.out.Log(v) // v is already an interface: fine
+	}
+}
+
+// validate is reachable and boxes only inside return statements: error
+// construction on validation exits is cold.
+func (s *shard) validate(ev event) error {
+	if ev.at < 0 {
+		return fmt.Errorf("megasim: bad event time %d", ev.at)
+	}
+	return nil
+}
+
+// setup is NOT reachable from runWindow: construction-time closures and
+// appends are free.
+func (s *shard) setup(n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		s.heap = append(s.heap, event{fn: func() { _ = i }})
+	}
+}
+
+// stats has a value receiver: its reach-index name is "stats.observe",
+// distinct from the pointer-receiver forms above. Not a root, so the
+// closure inside is free.
+type stats struct{ n int }
+
+func (c stats) observe(fn func()) {
+	defer func() { _ = c.n }()
+	fn()
+}
+
+// ring is generic; the reach index strips the type parameter from the
+// receiver ("ring.head").
+type ring[T any] struct{ buf []T }
+
+func (r ring[T]) head() T { return r.buf[0] }

@@ -1,0 +1,215 @@
+// Package linttest runs simlint analyzers over fixture packages, in the
+// manner of golang.org/x/tools/go/analysis/analysistest: fixture sources
+// live under testdata/src/<pkg>/, and every line that should trigger a
+// finding carries a `// want "regexp"` comment. The harness loads the
+// fixture with the same loader and runs it through the same analysis.Run
+// entry point as cmd/simlint, so a fixture that passes here demonstrates
+// exactly what CI enforces.
+//
+// Fixture packages may import the standard library, real module packages
+// (e.g. gossipstream/internal/xrand), and sibling fixture packages in the
+// same testdata/src tree.
+package linttest
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gossipstream/internal/simlint/analysis"
+	"gossipstream/internal/simlint/load"
+)
+
+// Run loads each fixture package under dir/src and checks the analyzer's
+// findings against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgs ...string) {
+	t.Helper()
+	modRoot := moduleRoot(t)
+	for _, pkg := range pkgs {
+		l := &fixtureLoader{
+			t:       t,
+			modRoot: modRoot,
+			srcRoot: filepath.Join(dir, "src"),
+			fset:    token.NewFileSet(),
+			loaded:  make(map[string]*load.Package),
+		}
+		fp := l.load(pkg)
+		diags, err := analysis.Run(a, fp.Fset, fp.Files, fp.Types, fp.Info)
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", pkg, a.Name, err)
+		}
+		checkWants(t, fp, diags)
+	}
+}
+
+// moduleRoot locates the enclosing module so fixtures can import real
+// module packages.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("linttest: not running inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// fixtureLoader type-checks fixture packages, resolving sibling fixtures
+// from source and everything else through export data.
+type fixtureLoader struct {
+	t       *testing.T
+	modRoot string
+	srcRoot string
+	fset    *token.FileSet
+	loaded  map[string]*load.Package
+}
+
+func (l *fixtureLoader) load(pkg string) *load.Package {
+	l.t.Helper()
+	if p, ok := l.loaded[pkg]; ok {
+		return p
+	}
+	dir := filepath.Join(l.srcRoot, pkg)
+	files, err := load.GoFilesIn(dir)
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", pkg, err)
+	}
+	// Resolve the fixture tree's external imports (stdlib and real module
+	// packages) in one go list pass.
+	ext := l.externalImports(pkg, map[string]bool{})
+	exports := map[string]string{}
+	if len(ext) > 0 {
+		exports, err = load.Exports(l.modRoot, ext...)
+		if err != nil {
+			l.t.Fatalf("fixture %s: resolving imports: %v", pkg, err)
+		}
+	}
+	imp := load.NewImporter(l.fset, exports, func(path string) (*types.Package, error) {
+		return l.load(path).Types, nil
+	})
+	p, err := load.Check(l.fset, pkg, dir, files, imp)
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", pkg, err)
+	}
+	l.loaded[pkg] = p
+	return p
+}
+
+// externalImports walks the fixture import graph from pkg and returns
+// every import path that is not itself a fixture package.
+func (l *fixtureLoader) externalImports(pkg string, seen map[string]bool) []string {
+	l.t.Helper()
+	if seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	files, err := load.GoFilesIn(filepath.Join(l.srcRoot, pkg))
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", pkg, err)
+	}
+	var ext []string
+	for _, f := range files {
+		for _, imp := range fileImports(l.t, f) {
+			if _, statErr := os.Stat(filepath.Join(l.srcRoot, imp)); statErr == nil {
+				ext = append(ext, l.externalImports(imp, seen)...)
+			} else {
+				ext = append(ext, imp)
+			}
+		}
+	}
+	return ext
+}
+
+func fileImports(t *testing.T, file string) []string {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, m := range importRx.FindAllStringSubmatch(string(src), -1) {
+		for _, q := range quoteRx.FindAllString(m[1], -1) {
+			p, err := strconv.Unquote(q)
+			if err == nil && p != "" {
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths
+}
+
+var (
+	importRx = regexp.MustCompile(`(?ms)^import\s*(\([^)]*\)|"[^"]*")`)
+	quoteRx  = regexp.MustCompile("\"[^\"]*\"|`[^`]*`")
+	wantRx   = regexp.MustCompile(`//\s*want\s+(.*)`)
+)
+
+// expectation is one want comment: a diagnostic matching rx must be
+// reported on line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+// wantsOf parses every want comment in the fixture.
+func wantsOf(t *testing.T, fp *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range fp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fp.Fset.Position(c.Pos())
+				for _, q := range quoteRx.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches reported diagnostics against want comments one to
+// one, failing the test on any unexpected or missing finding.
+func checkWants(t *testing.T, fp *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := wantsOf(t, fp)
+outer:
+	for _, d := range diags {
+		pos := fp.Fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				continue outer
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package churnhelp exists to be imported by the churn fixture, proving
+// the harness resolves sibling fixture packages from source.
+package churnhelp
+
+func Base() int { return 40 }

@@ -1,0 +1,157 @@
+package load
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./internal/xrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "gossipstream/internal/xrand" {
+		t.Errorf("Path = %q", p.Path)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+		t.Fatal("package not fully loaded")
+	}
+	// Type information must be live: xrand.New's result type resolves
+	// through math/rand export data.
+	obj := p.Types.Scope().Lookup("New")
+	if obj == nil {
+		t.Fatal("xrand.New not in package scope")
+	}
+	if got := obj.Type().String(); !strings.Contains(got, "*math/rand.Rand") {
+		t.Errorf("xrand.New type = %s, want a *math/rand.Rand result", got)
+	}
+}
+
+// TestLoadDepsAreNotTargets: -deps machinery must not leak dependency
+// packages into the analyzed set, or analyzers would double-report.
+func TestLoadDepsAreNotTargets(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./internal/fec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "gossipstream/internal/fec" {
+		t.Fatalf("Load(./internal/fec) returned %v, want just the target", paths)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(moduleRoot(t), "./does/not/exist"); err == nil {
+		t.Fatal("expected an error for a nonexistent pattern")
+	}
+}
+
+func TestExports(t *testing.T) {
+	exp, err := Exports(moduleRoot(t), "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp["time"] == "" {
+		t.Fatalf("no export data recorded for time: %v", exp)
+	}
+}
+
+func TestGoFilesIn(t *testing.T) {
+	root := moduleRoot(t)
+	files, err := GoFilesIn(filepath.Join(root, "internal", "xrand"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			t.Errorf("test file leaked into GoFilesIn: %s", f)
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("no files found")
+	}
+	if _, err := GoFilesIn(filepath.Join(root, "does-not-exist")); err == nil {
+		t.Error("expected error for missing directory")
+	}
+}
+
+func TestImporterBranches(t *testing.T) {
+	fset := token.NewFileSet()
+	var fellBack string
+	imp := NewImporter(fset, nil, func(path string) (*types.Package, error) {
+		fellBack = path
+		return types.NewPackage(path, "stub"), nil
+	})
+	if p, err := imp.Import("unsafe"); err != nil || p != types.Unsafe {
+		t.Errorf("Import(unsafe) = %v, %v; want types.Unsafe", p, err)
+	}
+	if p, err := imp.Import("some/fixture"); err != nil || p == nil || fellBack != "some/fixture" {
+		t.Errorf("fallback not used: %v, %v (fellBack=%q)", p, err, fellBack)
+	}
+	strict := NewImporter(fset, nil, nil)
+	if _, err := strict.Import("no/such/pkg"); err == nil {
+		t.Error("expected unresolved-import error without a fallback")
+	}
+}
+
+func TestCheckReportsParseAndTypeErrors(t *testing.T) {
+	dir := t.TempDir()
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, nil, nil)
+
+	bad := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(bad, []byte("package p\nfunc f() {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(fset, "p", dir, []string{bad}, imp); err == nil {
+		t.Error("expected a parse error")
+	}
+
+	// Many type errors: the message must truncate after five.
+	src := "package p\nfunc g() {\n"
+	for i := 0; i < 8; i++ {
+		src += fmt.Sprintf("\t_ = undefined%d\n", i)
+	}
+	src += "}\n"
+	ill := filepath.Join(dir, "ill.go")
+	if err := os.WriteFile(ill, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Check(fset, "p", dir, []string{ill}, imp)
+	if err == nil {
+		t.Fatal("expected type errors")
+	}
+	if !strings.Contains(err.Error(), "and 3 more") {
+		t.Errorf("error list not truncated: %v", err)
+	}
+}
+
+func TestGoFilesInEmptyDir(t *testing.T) {
+	if _, err := GoFilesIn(t.TempDir()); err == nil {
+		t.Error("expected error for a directory with no .go files")
+	}
+}

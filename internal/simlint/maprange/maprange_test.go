@@ -1,0 +1,13 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"gossipstream/internal/simlint/lintcfg"
+	"gossipstream/internal/simlint/linttest"
+	"gossipstream/internal/simlint/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, maprange.New(lintcfg.Default()), "testdata", "core", "util")
+}

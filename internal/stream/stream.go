@@ -16,6 +16,8 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+
+	"gossipstream/internal/xrand"
 	"time"
 
 	"gossipstream/internal/fec"
@@ -163,7 +165,7 @@ func NewSource(layout Layout, seed int64) (*Source, error) {
 	s := &Source{
 		layout:  layout,
 		code:    code,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     xrand.New(seed),
 		packets: make(map[PacketID]*Packet, layout.TotalPackets()),
 	}
 	s.buildOrder()
