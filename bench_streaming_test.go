@@ -1,0 +1,74 @@
+// Streaming-metrics memory benchmarks: the same churned scale scenario
+// run twice, once retaining every node's receiver until run end (the
+// batch scoring path) and once folding quality accumulators at engine
+// barriers (Config.StreamingMetrics) with departed nodes released as they
+// crash. cmd/benchjson pairs each "...Streaming" row with its
+// "...Retained" twin and records the live-heap ratio in BENCH_sim.json
+// ("megasim_streaming_memory") — the memory unlock for million-node runs.
+package gossipstream
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchMegasimMemory runs the Cyclon + sustained-Poisson-churn scenario
+// and reports the end-of-run live heap. Retained receivers accumulate
+// monotonically over a run (nothing is freed until the Result is built),
+// so the post-run live set is what drives the peak; sampling it after a
+// forced GC with the Result still reachable compares exactly the state
+// the two modes keep.
+func benchMegasimMemory(b *testing.B, nodes, shards int, streaming bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(nodes, shards, simulatedScale)
+		cfg.Seed = 1
+		cfg.Membership = MembershipCyclon
+		rate := 0.01 * float64(nodes)
+		cfg.ChurnProcess = SustainedChurn(rate, rate)
+		cfg.StreamingMetrics = streaming
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.StopTimer()
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "live-MB")
+		b.ReportMetric(float64(res.Events), "events/op")
+		// Score through the mode-dispatching surface so both twins do
+		// equivalent end work and the Result stays live through the
+		// measurement above.
+		b.ReportMetric(res.PresentMeanCompletePct(OfflineLag), "complete%")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkMegasimMemory2kRetained(b *testing.B) {
+	benchMegasimMemory(b, 2_000, 8, false)
+}
+
+func BenchmarkMegasimMemory2kStreaming(b *testing.B) {
+	benchMegasimMemory(b, 2_000, 8, true)
+}
+
+// BenchmarkMegasimMemory100k* are the acceptance pair: 100k nodes × 30
+// simulated seconds under sustained churn. Expect tens of minutes each;
+// run with -benchtime=1x.
+func BenchmarkMegasimMemory100kRetained(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node scale run skipped in -short mode")
+	}
+	benchMegasimMemory(b, 100_000, 8, false)
+}
+
+func BenchmarkMegasimMemory100kStreaming(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-node scale run skipped in -short mode")
+	}
+	benchMegasimMemory(b, 100_000, 8, true)
+}

@@ -54,6 +54,10 @@ type Report struct {
 	// and event-count ratios over its churn-free counterpart — the cost of
 	// continuous join/leave with runtime bootstrap.
 	PoissonChurn map[string]map[string]float64 `json:"megasim_poisson_churn,omitempty"`
+	// StreamingMemory records, per "...Streaming" memory scenario, the
+	// end-of-run live heap against its "...Retained" twin — the memory
+	// saved by barrier-folded metrics over retained receivers.
+	StreamingMemory map[string]map[string]float64 `json:"megasim_streaming_memory,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -64,35 +68,63 @@ var metricPair = regexp.MustCompile(`(\d+(?:\.\d+)?) (\S+)`)
 
 func main() {
 	var (
-		bench   = flag.String("bench", "BenchmarkMegasim|BenchmarkFEC", "benchmark regex passed to go test -bench")
-		short   = flag.Bool("short", false, "pass -short (skips the 10k/100k scale runs)")
-		timeout = flag.Duration("timeout", 120*time.Minute, "go test timeout")
-		out     = flag.String("out", "BENCH_sim.json", "output path")
-		pkg     = flag.String("pkg", ".", "package containing the benchmarks")
+		bench      = flag.String("bench", "BenchmarkMegasim", "simulation benchmark regex, run at -benchtime 1x (empty = skip)")
+		kernel     = flag.String("kernel", "BenchmarkFEC|BenchmarkMulSlice", "codec-kernel benchmark regex (empty = skip)")
+		kernelTime = flag.String("kernelbenchtime", "100x", "benchtime for the kernel pass; microsecond kernels need iterations beyond the simulators' 1x to report steady state")
+		short      = flag.Bool("short", false, "pass -short (skips the 10k/100k scale runs)")
+		timeout    = flag.Duration("timeout", 120*time.Minute, "go test timeout")
+		out        = flag.String("out", "BENCH_sim.json", "output path")
+		pkg        = flag.String("pkg", ".", "package containing the benchmarks")
 	)
 	flag.Parse()
-	if err := run(*bench, *pkg, *out, *timeout, *short); err != nil {
+	if err := run(*bench, *kernel, *kernelTime, *pkg, *out, *timeout, *short); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, pkg, out string, timeout time.Duration, short bool) error {
-	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", "1x", "-count", "1",
-		"-timeout", timeout.String()}
-	if short {
-		args = append(args, "-short")
+// run executes up to two `go test -bench` passes — the simulation-scale
+// scenarios at exactly one iteration each, and the FEC kernels at a
+// benchtime long enough to average out timer noise — and merges their
+// tables into one report.
+func run(simBench, kernelBench, kernelTime, pkg, out string, timeout time.Duration, short bool) error {
+	var raw []byte
+	pass := func(bench, benchtime string) error {
+		args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-count", "1",
+			"-timeout", timeout.String()}
+		if short {
+			args = append(args, "-short")
+		}
+		args = append(args, pkg)
+		fmt.Fprintln(os.Stderr, "benchjson: go", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		got, err := cmd.Output()
+		// Stream the raw table for the operator before any error handling
+		// so partial output is never lost.
+		os.Stderr.Write(got)
+		raw = append(raw, got...)
+		if err != nil {
+			return fmt.Errorf("go test: %w", err)
+		}
+		return nil
 	}
-	args = append(args, pkg)
-	fmt.Fprintln(os.Stderr, "benchjson: go", strings.Join(args, " "))
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	// Stream the raw table for the operator before any error handling so
-	// partial output is never lost.
-	os.Stderr.Write(raw)
-	if err != nil {
-		return fmt.Errorf("go test: %w", err)
+	var regexes []string
+	if simBench != "" {
+		regexes = append(regexes, simBench)
+		if err := pass(simBench, "1x"); err != nil {
+			return err
+		}
+	}
+	if kernelBench != "" {
+		regexes = append(regexes, kernelBench)
+		if err := pass(kernelBench, kernelTime); err != nil {
+			return err
+		}
+	}
+	bench := strings.Join(regexes, "|")
+	if bench == "" {
+		return fmt.Errorf("both -bench and -kernel empty: nothing to run")
 	}
 
 	rep := Report{
@@ -140,6 +172,7 @@ func run(bench, pkg, out string, timeout time.Duration, short bool) error {
 	rep.Speedups = speedups(rep.Results)
 	rep.CyclonOverheads = cyclonOverheads(rep.Results)
 	rep.PoissonChurn = poissonChurn(rep.Results)
+	rep.StreamingMemory = streamingMemory(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -200,6 +233,44 @@ func poissonChurn(results []Result) map[string]map[string]float64 {
 			ratios["events_ratio"] = ce / be
 		}
 		out[name] = ratios
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// streamingMemory pairs each "...Streaming" memory scenario with its
+// "...Retained" twin and records both live-heap figures, their ratio, and
+// the wall-time ratio: what barrier-folded metrics save over retained
+// receivers, and what the folding costs.
+func streamingMemory(results []Result) map[string]map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	out := map[string]map[string]float64{}
+	for name, s := range byName {
+		base, ok := strings.CutSuffix(name, "Streaming")
+		if !ok {
+			continue
+		}
+		r, ok := byName[base+"Retained"]
+		if !ok {
+			continue
+		}
+		pair := map[string]float64{}
+		if rl, sl := r.Metrics["live-MB"], s.Metrics["live-MB"]; rl > 0 && sl > 0 {
+			pair["retained_live_mb"] = rl
+			pair["streaming_live_mb"] = sl
+			pair["live_ratio"] = sl / rl
+		}
+		if r.NsPerOp > 0 {
+			pair["wall_ratio"] = s.NsPerOp / r.NsPerOp
+		}
+		if len(pair) > 0 {
+			out[name] = pair
+		}
 	}
 	if len(out) == 0 {
 		return nil

@@ -46,6 +46,31 @@ func TestCyclonOverheadsEmpty(t *testing.T) {
 	}
 }
 
+func TestStreamingMemoryPairing(t *testing.T) {
+	results := []Result{
+		{Name: "MegasimMemory2kRetained", NsPerOp: 10e9, Metrics: map[string]float64{"live-MB": 200}},
+		{Name: "MegasimMemory2kStreaming", NsPerOp: 11e9, Metrics: map[string]float64{"live-MB": 20}},
+		// Streaming row without a Retained twin: no entry.
+		{Name: "MegasimMemory100kStreaming", NsPerOp: 70e9, Metrics: map[string]float64{"live-MB": 50}},
+	}
+	got := streamingMemory(results)
+	if len(got) != 1 {
+		t.Fatalf("streamingMemory = %v, want exactly 1 pair", got)
+	}
+	pair := got["MegasimMemory2kStreaming"]
+	if math.Abs(pair["live_ratio"]-0.1) > 1e-9 ||
+		math.Abs(pair["retained_live_mb"]-200) > 1e-9 ||
+		math.Abs(pair["streaming_live_mb"]-20) > 1e-9 {
+		t.Fatalf("pair = %v, want live 200→20, ratio 0.1", pair)
+	}
+	if math.Abs(pair["wall_ratio"]-1.1) > 1e-9 {
+		t.Fatalf("wall ratio = %v, want 1.1", pair["wall_ratio"])
+	}
+	if got := streamingMemory([]Result{{Name: "Megasim2kShards1", NsPerOp: 1}}); got != nil {
+		t.Fatalf("streamingMemory = %v, want nil with no memory rows", got)
+	}
+}
+
 func TestPoissonChurnPairing(t *testing.T) {
 	results := []Result{
 		{Name: "Megasim2kCyclonShards1", NsPerOp: 10e9, Metrics: map[string]float64{"events/op": 4e6}},

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,9 @@ func run(args []string, out io.Writer) error {
 		churnAt = fs.String("churn", "0", "base churn for every sweep: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (needs -membership cyclon and -shards >= 1)")
 		outDir  = fs.String("out", "figures", "directory for figure text files")
 		only    = fs.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
+
+		streaming = fs.Bool("streaming", false, "fold quality metrics at engine barriers instead of retaining per-node state (needs -shards >= 1); figure columns are bit-identical. Figure 4 and the churn claim need retained state and ignore it")
+		teleOut   = fs.String("telemetry", "", "write a JSON campaign manifest (config plus every generated table) to this path (- = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -54,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *nodes < 0 {
 		return fmt.Errorf("-nodes %d: want >= 0", *nodes)
+	}
+	if *streaming && *shards < 1 {
+		return fmt.Errorf("-streaming requires -shards >= 1 (barrier folding is a sharded-engine feature)")
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -87,6 +94,7 @@ func run(args []string, out io.Writer) error {
 	}
 	base.Churn = scaled.Churn
 	base.ChurnProcess = scaled.ChurnProcess
+	base.StreamingMetrics = *streaming
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -98,12 +106,20 @@ func run(args []string, out io.Writer) error {
 
 	// emit writes a figure's table, plus an ASCII chart of its numeric
 	// columns against the first column when the axis parses as numbers.
+	// Emitted tables also accumulate into the -telemetry campaign manifest.
+	var exported []tableExport
 	emit := func(name string, tb *gossipstream.Table) error {
 		text := tb.String()
 		if chart := chartOf(tb); chart != "" {
 			text += "\n" + chart
 		}
 		fmt.Fprintln(out, text)
+		exported = append(exported, tableExport{
+			Name:    strings.TrimSuffix(name, ".txt"),
+			Title:   tb.Title,
+			Columns: tb.Columns,
+			Rows:    tb.Rows(),
+		})
 		return os.WriteFile(filepath.Join(*outDir, name), []byte(text), 0o644)
 	}
 
@@ -215,7 +231,48 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "done in %v; tables written to %s/\n", time.Since(start).Round(time.Second), *outDir)
+
+	if *teleOut != "" {
+		m := campaignManifest{
+			Tool:        "figures",
+			Config:      scaled,
+			Scale:       *scale,
+			WallSeconds: time.Since(start).Seconds(),
+			Tables:      exported,
+		}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return fmt.Errorf("-telemetry: %w", err)
+		}
+		data = append(data, '\n')
+		if *teleOut == "-" {
+			if _, err := out.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*teleOut, data, 0o644); err != nil {
+			return fmt.Errorf("-telemetry: %w", err)
+		}
+	}
 	return nil
+}
+
+// campaignManifest is the -telemetry export of a figures run: the exact
+// scaled base configuration every sweep started from, plus each
+// generated table in structured form.
+type campaignManifest struct {
+	Tool        string                        `json:"tool"`
+	Config      gossipstream.ExperimentConfig `json:"config"`
+	Scale       float64                       `json:"scale"`
+	WallSeconds float64                       `json:"wall_seconds"`
+	Tables      []tableExport                 `json:"tables"`
+}
+
+// tableExport is one figure's table, machine-readable.
+type tableExport struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // chartOf renders the table as an ASCII chart when its first column is a

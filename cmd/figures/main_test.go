@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ func TestFlagValidation(t *testing.T) {
 	}{
 		{"negative shards", []string{"-shards", "-1"}},
 		{"negative nodes", []string{"-nodes", "-5"}},
+		{"streaming needs shards", []string{"-streaming"}},
 		{"unknown flag", []string{"-bogus"}},
 		{"stray argument", []string{"extra"}},
 	}
@@ -93,5 +95,70 @@ func TestSmokeSustainedChurnFigure1(t *testing.T) {
 	}
 	if _, err := os.ReadFile(filepath.Join(dir, "figure1.txt")); err != nil {
 		t.Fatalf("figure1.txt not written: %v", err)
+	}
+}
+
+// TestStreamingTwinFigure1: the fanout sweep produces the identical table
+// with and without -streaming (barrier-folded scoring is pinned
+// bit-identical upstream; this checks the flag plumbs through).
+func TestStreamingTwinFigure1(t *testing.T) {
+	table := func(extra ...string) string {
+		t.Helper()
+		dir := t.TempDir()
+		var out bytes.Buffer
+		args := append([]string{"-only", "1", "-scale", "0.07", "-shards", "2", "-nodes", "48",
+			"-churn", "0.2", "-out", dir}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, "figure1.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	batch := table()
+	stream := table("-streaming")
+	if batch != stream {
+		t.Fatalf("-streaming changed figure 1:\n--- batch ---\n%s\n--- streaming ---\n%s", batch, stream)
+	}
+}
+
+// TestCampaignManifest: -telemetry writes a JSON campaign manifest
+// holding the scaled config and each emitted table in structured form.
+func TestCampaignManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	var out bytes.Buffer
+	args := []string{"-only", "1", "-scale", "0.07", "-shards", "2", "-nodes", "48",
+		"-out", dir, "-telemetry", path}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m campaignManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("campaign manifest does not parse: %v\n%s", err, data)
+	}
+	if m.Tool != "figures" {
+		t.Fatalf("tool = %q", m.Tool)
+	}
+	if m.Config.Nodes <= 0 || m.Config.Shards != 2 || m.Scale != 0.07 {
+		t.Fatalf("manifest config not the scaled base: %+v", m.Config)
+	}
+	if len(m.Tables) != 1 || m.Tables[0].Name != "figure1" {
+		t.Fatalf("tables = %+v, want the single figure1 export", m.Tables)
+	}
+	tb := m.Tables[0]
+	if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+		t.Fatalf("figure1 export empty: %+v", tb)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tb.Columns))
+		}
 	}
 }

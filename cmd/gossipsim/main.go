@@ -17,14 +17,22 @@
 // leaving per second) over Cyclon partial views, with runtime bootstrap:
 //
 //	gossipsim -nodes 10000 -shards 8 -windows 9 -membership cyclon -churn poisson:0.01,0.01
+//
+// Example — a large run with streaming metrics (no per-node state
+// retained), a live progress line, and a JSON run manifest:
+//
+//	gossipsim -nodes 100000 -shards 8 -windows 14 -streaming -progress -telemetry run.json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"gossipstream"
@@ -52,6 +60,13 @@ func run(args []string, out io.Writer) error {
 		churnAt = fs.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (sustained; joins need -membership cyclon and -shards >= 1)")
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		verbose = fs.Bool("v", false, "print per-node detail")
+
+		streaming = fs.Bool("streaming", false, "fold quality metrics at engine barriers instead of retaining per-node state (needs -shards >= 1); figure columns are bit-identical")
+		teleOut   = fs.String("telemetry", "", "write a JSON run manifest to this path (- = stdout)")
+		progress  = fs.Bool("progress", false, "print a live progress line to stderr (needs -shards >= 1)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = fs.String("memprofile", "", "write a heap profile (taken after the run) to this path")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,15 +111,46 @@ func run(args []string, out io.Writer) error {
 	if err := gossipstream.ApplyChurnFlag(&cfg, *churnAt); err != nil {
 		return fmt.Errorf("-%w", err)
 	}
+	cfg.StreamingMetrics = *streaming
+	if *verbose && *streaming {
+		return errors.New("-v needs per-node results, which -streaming does not retain")
+	}
+	if *progress && *shards < 1 {
+		return errors.New("-progress requires -shards >= 1: snapshots are a sharded-engine capability")
+	}
+	progressDone := func() {}
+	if *shards >= 1 && (*progress || *teleOut != "") {
+		// Introspection hooks: a wall-clock sampler always (the manifest's
+		// wall split), snapshots every simulated second, and the live line
+		// when asked. None of it perturbs the simulated run.
+		topts := &gossipstream.TelemetryOptions{
+			SnapshotEvery: time.Second,
+			Clock:         gossipstream.NewWallClock(),
+		}
+		if *progress {
+			topts.OnSnapshot, progressDone = newProgress()
+		}
+		cfg.Telemetry = topts
+	}
+
+	stopProf, err := startProfiling(*cpuProf, *traceOut)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
 	res, err := gossipstream.RunExperiment(cfg)
+	stopProf()
+	progressDone()
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
-
-	qs := res.SurvivorQualities()
+	if *memProf != "" {
+		if err := writeHeapProfile(*memProf); err != nil {
+			return err
+		}
+	}
 	// res.Config holds the normalized configuration (e.g. shard count
 	// clamped to the node count), so report from it, not the request.
 	engine := "single-threaded kernel"
@@ -119,6 +165,9 @@ func run(args []string, out io.Writer) error {
 		cfg.Protocol.Fanout, rate(cfg.Protocol.RefreshEvery), rate(cfg.Protocol.FeedEvery), cfg.UploadCapBps/1000, *members)
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "%-28s %8s\n", "metric", "value")
+	// The Survivor*/Present* accessors dispatch to retained per-node
+	// qualities or the streaming accumulators, so the report reads the
+	// same in both modes (and prints identical numbers for a fixed seed).
 	for _, lag := range []struct {
 		name string
 		d    time.Duration
@@ -128,39 +177,33 @@ func run(args []string, out io.Writer) error {
 		{"viewable (<1% jitter) offline", gossipstream.OfflineLag},
 	} {
 		fmt.Fprintf(out, "%-28s %7.1f%%\n", lag.name,
-			gossipstream.PercentViewable(qs, lag.d, gossipstream.JitterThreshold))
+			res.SurvivorViewablePct(lag.d, gossipstream.JitterThreshold))
 	}
 	fmt.Fprintf(out, "%-28s %7.1f%%\n", "mean complete windows @20s",
-		gossipstream.MeanCompleteFraction(qs, 20*time.Second))
+		res.SurvivorMeanCompletePct(20*time.Second))
 	fmt.Fprintf(out, "%-28s %7.1f%%\n", "mean complete windows offline",
-		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
+		res.SurvivorMeanCompletePct(gossipstream.OfflineLag))
 
 	if cfg.ChurnProcess != nil && !cfg.ChurnProcess.IsZero() {
 		// Sustained churn: survivor metrics over all stream windows would
 		// punish joiners for windows published before they existed. Score
 		// each node over the windows it was present for (after a bootstrap
 		// grace of a few shuffle periods).
-		joined, departed := 0, 0
-		for _, n := range res.Nodes {
-			if n.JoinedAt > 0 {
-				joined++
-			}
-			if !n.Survived {
-				departed++
-			}
-		}
-		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
 		fmt.Fprintln(out)
 		fmt.Fprintf(out, "sustained churn: %d joined, %d left; %d of %d nodes present for >= 1 whole window\n",
-			joined, departed, len(lq), len(res.Nodes))
+			res.JoinedCount(), res.DepartedCount(), res.PresentCount(), res.NodeCount())
 		fmt.Fprintf(out, "%-28s %7.1f%%\n", "complete windows (present)",
-			gossipstream.MeanCompleteFraction(lq, gossipstream.OfflineLag))
+			res.PresentMeanCompletePct(gossipstream.OfflineLag))
 	}
 
-	dist := res.UploadDistribution()
-	if len(dist) > 0 {
+	if dist := res.UploadDistribution(); len(dist) > 0 {
 		fmt.Fprintf(out, "%-28s %7.0f / %.0f / %.0f kbps\n", "upload max/median/min",
 			dist[0], dist[len(dist)/2], dist[len(dist)-1])
+	} else if sum := res.UploadSummary(); sum.Count > 0 {
+		// Streaming mode: the exact distribution is not retained; report
+		// the histogram digest.
+		fmt.Fprintf(out, "%-28s %7d / %d / %d kbps\n", "upload max/median/min",
+			sum.Max, sum.P50, sum.Min)
 	}
 
 	if *verbose {
@@ -175,6 +218,82 @@ func run(args []string, out io.Writer) error {
 				n.Counters.Retransmissions,
 				n.Survived)
 		}
+	}
+
+	if *teleOut != "" {
+		if err := writeManifest(res.Manifest("gossipsim"), *teleOut, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newProgress wires a live progress line to stderr.
+func newProgress() (func(gossipstream.RunSnapshot), func()) {
+	return gossipstream.NewProgressLine(os.Stderr)
+}
+
+// startProfiling starts the requested CPU profile and execution trace;
+// the returned stop func is safe to call once whether or not anything
+// was started.
+func startProfiling(cpuPath, tracePath string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for _, fn := range stops {
+			fn()
+		}
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("-trace: %w", err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return stop, nil
+}
+
+// writeHeapProfile captures a post-run heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	return nil
+}
+
+// writeManifest emits the JSON run manifest to path, or to out for "-".
+func writeManifest(m gossipstream.RunManifest, path string, out io.Writer) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("-telemetry: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("-telemetry: %w", err)
 	}
 	return nil
 }

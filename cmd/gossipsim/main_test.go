@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -131,5 +134,89 @@ func TestVerbosePerNodeTable(t *testing.T) {
 	got := smoke(t, "-nodes", "10", "-windows", "1", "-shards", "2", "-v")
 	if !strings.Contains(got, "complete%") {
 		t.Fatalf("verbose run missing per-node table:\n%s", got)
+	}
+}
+
+// TestStreamingMatchesBatchReport: the same seed reported with and
+// without -streaming prints identical quality lines (bit-identical
+// scoring is pinned upstream; this checks the CLI wiring end to end).
+// The upload line is excluded: the streaming digest quotes bucketed
+// histogram quantiles, not the exact retained median.
+func TestStreamingMatchesBatchReport(t *testing.T) {
+	args := []string{"-nodes", "60", "-windows", "2", "-seed", "5", "-shards", "2", "-churn", "0.2"}
+	wallRe := regexp.MustCompile(`in [0-9.µnm]+s `)
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "upload max/median/min") {
+				continue
+			}
+			// The header quotes wall time, which differs run to run.
+			keep = append(keep, wallRe.ReplaceAllString(line, "in X "))
+		}
+		return strings.Join(keep, "\n")
+	}
+	batch := smoke(t, args...)
+	stream := smoke(t, append(args, "-streaming")...)
+	if strip(batch) != strip(stream) {
+		t.Fatalf("-streaming changed the report:\n--- batch ---\n%s\n--- streaming ---\n%s", batch, stream)
+	}
+}
+
+func TestStreamingNeedsShards(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-streaming"}, &out); err == nil {
+		t.Fatal("-streaming without -shards accepted")
+	}
+	if err := run([]string{"-streaming", "-shards", "2", "-v", "-nodes", "10", "-windows", "1"}, &out); err == nil {
+		t.Fatal("-streaming with -v accepted")
+	}
+	if err := run([]string{"-progress"}, &out); err == nil {
+		t.Fatal("-progress without -shards accepted")
+	}
+}
+
+// TestTelemetryManifest: -telemetry - appends a parseable JSON manifest
+// with the config, quality columns, and per-shard load table.
+func TestTelemetryManifest(t *testing.T) {
+	got := smoke(t, "-nodes", "40", "-windows", "2", "-seed", "3", "-shards", "2", "-telemetry", "-")
+	i := strings.Index(got, "{")
+	if i < 0 {
+		t.Fatalf("no JSON manifest in output:\n%s", got)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got[i:]), &m); err != nil {
+		t.Fatalf("manifest does not parse: %v\n%s", err, got[i:])
+	}
+	if m["tool"] != "gossipsim" {
+		t.Fatalf("manifest tool = %v", m["tool"])
+	}
+	for _, key := range []string{"config", "quality", "nodes", "shard_loads", "snapshots", "wall", "traffic", "upload_kbps"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("manifest missing %q:\n%s", key, got[i:])
+		}
+	}
+	wall, _ := m["wall"].(map[string]any)
+	if v, _ := wall["run_ns"].(float64); v <= 0 {
+		t.Fatalf("manifest wall profile not sampled: %v", m["wall"])
+	}
+}
+
+// TestTelemetryManifestFile: the manifest lands in the named file.
+func TestTelemetryManifestFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	smoke(t, "-nodes", "24", "-windows", "1", "-shards", "2", "-telemetry", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Events uint64 `json:"events"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Events == 0 {
+		t.Fatal("manifest reports zero events")
 	}
 }

@@ -11,9 +11,15 @@
 // second, joiners bootstrapping into live Cyclon views at runtime:
 //
 //	go run ./examples/megascale -membership cyclon -churn poisson:0.01,0.01
+//
+// At large scale, -streaming folds the quality metrics at engine barriers
+// instead of retaining every node's receiver — same numbers, flat memory:
+//
+//	go run ./examples/megascale -nodes 1000000 -streaming -progress
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +31,15 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 10_000, "system size including the source")
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
-		secs    = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
-		churn   = flag.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (joins need -membership cyclon)")
-		members = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		nodes     = flag.Int("nodes", 10_000, "system size including the source")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
+		secs      = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
+		churn     = flag.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (joins need -membership cyclon)")
+		members   = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		streaming = flag.Bool("streaming", false, "fold quality metrics at engine barriers instead of retaining per-node receivers (same numbers, flat memory)")
+		progress  = flag.Bool("progress", false, "print a live progress line to stderr")
+		teleOut   = flag.String("telemetry", "", "write a JSON run manifest to this path (- = stdout)")
 	)
 	flag.Parse()
 
@@ -46,31 +55,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "megascale: -%v\n", err)
 		os.Exit(1)
 	}
+	cfg.StreamingMetrics = *streaming
+	progressDone := func() {}
+	if *progress || *teleOut != "" {
+		topts := &gossipstream.TelemetryOptions{
+			SnapshotEvery: time.Second,
+			Clock:         gossipstream.NewWallClock(),
+		}
+		if *progress {
+			line, done := gossipstream.NewProgressLine(os.Stderr)
+			topts.OnSnapshot = line
+			progressDone = done
+		}
+		cfg.Telemetry = topts
+	}
 
 	fmt.Printf("simulating %d nodes × %ds of 600 kbps stream on %d shards (%s membership)...\n",
 		*nodes, *secs, cfg.Shards, *members)
 	start := time.Now()
 	res, err := gossipstream.RunExperiment(cfg)
+	progressDone()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "megascale:", err)
 		os.Exit(1)
 	}
 	wall := time.Since(start)
 
-	qs := res.SurvivorQualities()
+	// Every quality line routes through the Scored* dispatch, so the
+	// report is identical with and without -streaming.
 	fmt.Printf("done in %v: %d events (%.0f events/s wall)\n",
 		wall.Round(time.Millisecond), res.Events, float64(res.Events)/wall.Seconds())
-	fmt.Printf("survivors:                                 %d / %d\n", len(qs), len(res.Nodes))
+	fmt.Printf("survivors:                                 %d / %d\n", res.SurvivorCount(), res.NodeCount())
 	fmt.Printf("nodes viewing with <1%% jitter at 10 s lag: %5.1f%%\n",
-		gossipstream.PercentViewable(qs, 10*time.Second, gossipstream.JitterThreshold))
+		res.SurvivorViewablePct(10*time.Second, gossipstream.JitterThreshold))
 	fmt.Printf("nodes viewing with <1%% jitter offline:     %5.1f%%\n",
-		gossipstream.PercentViewable(qs, gossipstream.OfflineLag, gossipstream.JitterThreshold))
+		res.SurvivorViewablePct(gossipstream.OfflineLag, gossipstream.JitterThreshold))
 	fmt.Printf("mean complete windows:                     %5.1f%%\n",
-		gossipstream.MeanCompleteFraction(qs, gossipstream.OfflineLag))
+		res.SurvivorMeanCompletePct(gossipstream.OfflineLag))
 	if cfg.ChurnProcess != nil && !cfg.ChurnProcess.IsZero() {
-		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
 		fmt.Printf("complete windows among present nodes:      %5.1f%% (%d nodes, joiners after bootstrap grace)\n",
-			gossipstream.MeanCompleteFraction(lq, gossipstream.OfflineLag), len(lq))
+			res.PresentMeanCompletePct(gossipstream.OfflineLag), res.PresentCount())
+	}
+	if loads := res.ShardLoads; len(loads) > 0 {
+		lo, hi := loads[0].Events, loads[0].Events
+		for _, l := range loads[1:] {
+			if l.Events < lo {
+				lo = l.Events
+			}
+			if l.Events > hi {
+				hi = l.Events
+			}
+		}
+		fmt.Printf("shard load: %d..%d events/shard across %d shards\n", lo, hi, len(loads))
 	}
 
 	// Network-wide conservation: every message is delivered, lands in a
@@ -87,12 +123,40 @@ func main() {
 		lost += s.RandomDrops
 		dead += s.DeadDrops
 	}
-	for _, n := range res.Nodes {
-		account(n.Stats)
+	if len(res.Nodes) > 0 {
+		// Classic-kernel runs: aggregate per-node counters plus the source.
+		for _, n := range res.Nodes {
+			account(n.Stats)
+		}
+		account(res.SourceStats)
+	} else {
+		// Sharded runs carry the engine-wide aggregate, which survives
+		// -streaming's per-node state release.
+		account(res.TotalTraffic)
 	}
-	account(res.SourceStats)
 	inFlight := sent - recv - lost - dead
 	fmt.Printf("messages: %d sent, %d delivered, %d congestion-dropped,\n", sent, recv, congestion)
 	fmt.Printf("          %d lost (UDP), %d to/from crashed nodes, %d in flight at deadline\n",
 		lost, dead, inFlight)
+
+	if *teleOut != "" {
+		if err := writeManifest(res.Manifest("megascale"), *teleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "megascale:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeManifest marshals the run manifest to path, "-" meaning stdout.
+func writeManifest(m gossipstream.RunManifest, path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

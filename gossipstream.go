@@ -26,6 +26,7 @@ package gossipstream
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -41,6 +42,8 @@ import (
 	"gossipstream/internal/shaping"
 	"gossipstream/internal/simnet"
 	"gossipstream/internal/stream"
+	"gossipstream/internal/telemetry"
+	"gossipstream/internal/telemetry/teleclock"
 	"gossipstream/internal/wire"
 )
 
@@ -90,7 +93,41 @@ type (
 	LiveConfig = rt.Config
 	// LiveCluster is a localhost cluster of live nodes.
 	LiveCluster = rt.Cluster
+
+	// TelemetryOptions enables run introspection on sharded deployments
+	// (ExperimentConfig.Telemetry): periodic progress snapshots and
+	// supervisor wall-clock profiling, guaranteed not to perturb the run.
+	TelemetryOptions = experiment.TelemetryOptions
+	// RunManifest is the structured run description the -telemetry flag
+	// of the CLI tools emits (ExperimentResult.Manifest).
+	RunManifest = experiment.Manifest
+	// RunSnapshot is one progress point of a run (live node count, events
+	// executed, events pending at a simulated instant).
+	RunSnapshot = telemetry.Snapshot
+	// ShardLoad is one shard's load counters: events by kind, conservative
+	// windows run, heap high-water, and cross-shard outbox volume
+	// (ExperimentResult.ShardLoads).
+	ShardLoad = telemetry.ShardLoad
+	// WallProfile is the supervisor-sampled wall-time split of a sharded
+	// run (ExperimentResult.Wall); zero unless TelemetryOptions.Clock is
+	// set, and excluded from determinism guarantees.
+	WallProfile = telemetry.WallProfile
+	// HistSummary digests a telemetry histogram: count, extremes, mean
+	// and quantiles (ExperimentResult.UploadSummary).
+	HistSummary = telemetry.HistSummary
 )
+
+// NewWallClock returns a wall-clock sampler for TelemetryOptions.Clock.
+// It is the only sanctioned way real time enters a simulation, and it
+// only ever fills WallProfile — simulated state never observes it.
+func NewWallClock() func() int64 { return teleclock.Clock() }
+
+// NewProgressLine returns an OnSnapshot hook rendering a live progress
+// line to w (virtual time, live nodes, events, wall clock) plus a done
+// func to call after the run, which terminates the line.
+func NewProgressLine(w io.Writer) (func(RunSnapshot), func()) {
+	return teleclock.Progress(w), func() { teleclock.Done(w) }
+}
 
 // Never disables a proactiveness knob: RefreshEvery = Never is the paper's
 // X = ∞ (static partners); FeedEvery = Never disables feed-me requests.

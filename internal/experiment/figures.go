@@ -35,18 +35,13 @@ func (o Options) base() Config {
 	return cfg
 }
 
-// scoringQualities returns the node qualities a figure scores. Under a
-// sustained churn process the population is lifetime-masked (a node
-// admitted at runtime is not charged for windows published before it
-// existed, nor a departing one for windows still propagating when it
-// left — Result.LifetimeQualities); every other scenario keeps the
-// paper's survivor population.
-func scoringQualities(res *Result) []metrics.Quality {
-	if p := res.Config.ChurnProcess; p != nil && !p.IsZero() {
-		return res.LifetimeQualities(res.Config.BootstrapGrace())
-	}
-	return res.SurvivorQualities()
-}
+// The figure generators score through Result.Scored* (streaming.go),
+// which picks the population — lifetime-masked under a sustained churn
+// process, the paper's survivors otherwise — and dispatches to the
+// barrier-folded accumulators or the retained qualities, whichever the
+// run produced. Figures 1/2/3/5/6/7/8 therefore work identically under
+// Config.StreamingMetrics; only Figure 4 and ChurnClaim need per-node
+// retained state and force it off.
 
 // figureLags are the stream-lag columns of Figures 1, 3, 5, 6 and 7.
 var figureLags = []struct {
@@ -84,13 +79,12 @@ func Figure1(opts Options, fanouts []int) (*metrics.Table, []*Result, error) {
 		"Figure 1: % nodes with <1% jitter vs fanout (700 kbps cap)",
 		"fanout", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := scoringQualities(res)
 		tb.AddRow(
 			fmt.Sprintf("%d", fanouts[i]),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 20*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 10*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.MeanCompleteFraction(qs, metrics.InfiniteLag)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(20*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(10*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredMeanCompletePct(metrics.InfiniteLag)),
 		)
 	}
 	return tb, results, nil
@@ -128,15 +122,10 @@ func Figure2(opts Options, fanouts []int, results []*Result) (*metrics.Table, er
 	tb := metrics.NewTable(
 		"Figure 2: CDF of stream lag — % nodes viewing ≥99% of stream within lag t (700 kbps cap)",
 		cols...)
-	qualities := make([][]metrics.Quality, len(results))
-	for i, res := range results {
-		qualities[i] = scoringQualities(res)
-	}
 	for _, probe := range Figure2Probes {
 		row := []string{fmt.Sprintf("%.0fs", probe.Seconds())}
 		for i := range fanouts {
-			cdf := metrics.LagCDF(qualities[i], []time.Duration{probe}, metrics.DefaultJitterThreshold)
-			row = append(row, fmt.Sprintf("%.1f", cdf[0]))
+			row = append(row, fmt.Sprintf("%.1f", results[i].ScoredLagCDFAt(probe, metrics.DefaultJitterThreshold)))
 		}
 		tb.AddRow(row...)
 	}
@@ -181,10 +170,10 @@ func Figure3(opts Options, fanouts []int, capsBps []int64) (*metrics.Table, erro
 	for i, f := range fanouts {
 		row := []string{fmt.Sprintf("%d", f)}
 		for c := range capsBps {
-			qs := scoringQualities(results[c*len(fanouts)+i])
+			res := results[c*len(fanouts)+i]
 			row = append(row,
-				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
-				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 10*time.Second, metrics.DefaultJitterThreshold)))
+				fmt.Sprintf("%.1f", res.ScoredViewablePct(metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
+				fmt.Sprintf("%.1f", res.ScoredViewablePct(10*time.Second, metrics.DefaultJitterThreshold)))
 		}
 		tb.AddRow(row...)
 	}
@@ -218,6 +207,9 @@ func Figure4(opts Options, combos []Figure4Combo) (*metrics.Table, error) {
 		cfg := opts.base()
 		cfg.Protocol.Fanout = combo.Fanout
 		cfg.UploadCapBps = combo.CapBps
+		// Rank percentiles of the exact sorted distribution need every
+		// node's rate retained; the streaming histogram buckets them.
+		cfg.StreamingMetrics = false
 		cfgs[i] = cfg
 	}
 	results, err := RunMany(cfgs)
@@ -269,13 +261,12 @@ func Figure5(opts Options, rates []int) (*metrics.Table, error) {
 		"Figure 5: % nodes with ≤1% jitter vs view refresh rate X (f=7, 700 kbps)",
 		"X", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := scoringQualities(res)
 		tb.AddRow(
 			rateLabel(rates[i]),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 20*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 10*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.MeanCompleteFraction(qs, metrics.InfiniteLag)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(20*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(10*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredMeanCompletePct(metrics.InfiniteLag)),
 		)
 	}
 	return tb, nil
@@ -306,13 +297,12 @@ func Figure6(opts Options, rates []int) (*metrics.Table, error) {
 		"Figure 6: % nodes with ≤1% jitter vs feed-me rate Y (X=∞, f=7, 700 kbps)",
 		"Y", "offline", "20s lag", "10s lag", "mean complete %")
 	for i, res := range results {
-		qs := scoringQualities(res)
 		tb.AddRow(
 			rateLabel(rates[i]),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 20*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 10*time.Second, metrics.DefaultJitterThreshold)),
-			fmt.Sprintf("%.1f", metrics.MeanCompleteFraction(qs, metrics.InfiniteLag)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(metrics.InfiniteLag, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(20*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredViewablePct(10*time.Second, metrics.DefaultJitterThreshold)),
+			fmt.Sprintf("%.1f", res.ScoredMeanCompletePct(metrics.InfiniteLag)),
 		)
 	}
 	return tb, nil
@@ -372,10 +362,10 @@ func Figure7(opts Options, churns []float64, refreshes []int) (*metrics.Table, [
 	for ci, frac := range churns {
 		row := []string{fmt.Sprintf("%.0f", frac*100)}
 		for xi := range refreshes {
-			qs := scoringQualities(results[xi*len(churns)+ci])
+			res := results[xi*len(churns)+ci]
 			row = append(row,
-				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, 20*time.Second, metrics.DefaultJitterThreshold)),
-				fmt.Sprintf("%.1f", metrics.PercentViewable(qs, metrics.InfiniteLag, metrics.DefaultJitterThreshold)))
+				fmt.Sprintf("%.1f", res.ScoredViewablePct(20*time.Second, metrics.DefaultJitterThreshold)),
+				fmt.Sprintf("%.1f", res.ScoredViewablePct(metrics.InfiniteLag, metrics.DefaultJitterThreshold)))
 		}
 		tb.AddRow(row...)
 	}
@@ -412,8 +402,8 @@ func Figure8(opts Options, churns []float64, refreshes []int, results []*Result)
 	for ci, frac := range churns {
 		row := []string{fmt.Sprintf("%.0f", frac*100)}
 		for xi := range refreshes {
-			qs := scoringQualities(results[xi*len(churns)+ci])
-			row = append(row, fmt.Sprintf("%.1f", metrics.MeanCompleteFraction(qs, 20*time.Second)))
+			res := results[xi*len(churns)+ci]
+			row = append(row, fmt.Sprintf("%.1f", res.ScoredMeanCompletePct(20*time.Second)))
 		}
 		tb.AddRow(row...)
 	}
@@ -440,6 +430,8 @@ func ChurnClaim(opts Options) (ChurnClaimResult, error) {
 	cfg := opts.base()
 	churnAt := cfg.Layout.Duration() / 2
 	cfg.Churn = churn.Catastrophic(churnAt, 0.2)
+	// The outage-span analysis walks each survivor's per-window lags.
+	cfg.StreamingMetrics = false
 	res, err := Run(cfg)
 	if err != nil {
 		return ChurnClaimResult{}, fmt.Errorf("churn claim: %w", err)

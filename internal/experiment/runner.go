@@ -26,6 +26,7 @@ import (
 	"gossipstream/internal/sim"
 	"gossipstream/internal/simnet"
 	"gossipstream/internal/stream"
+	"gossipstream/internal/telemetry"
 	"gossipstream/internal/wire"
 	"gossipstream/internal/xrand"
 )
@@ -98,6 +99,37 @@ type Config struct {
 	// Results are deterministic for a fixed (Seed, Shards) pair but not
 	// bit-identical across engines or shard counts.
 	Shards int
+	// StreamingMetrics folds quality scoring incrementally at the engine's
+	// barriers instead of retaining every node's Receiver until run end —
+	// the memory unlock for million-node runs: a departing node's whole
+	// protocol state is released at its crash barrier, and run end
+	// materializes no per-node results. Result.Nodes stays empty; score
+	// through Result.Scored*/Survivor* (figure columns are bit-identical
+	// to a batch run of the same seed) and Result.Streaming. Requires the
+	// sharded engine (Shards >= 1).
+	StreamingMetrics bool
+	// Telemetry, when non-nil, enables run introspection (periodic
+	// progress snapshots, supervisor wall-clock profiling). It never
+	// changes the simulated run — snapshots are taken between conservative
+	// windows without adding barriers — and is never serialized with the
+	// config. Requires the sharded engine (Shards >= 1).
+	Telemetry *TelemetryOptions `json:"-"`
+}
+
+// TelemetryOptions configures run introspection (Config.Telemetry). All
+// hooks run on the engine's supervisor goroutine.
+type TelemetryOptions struct {
+	// SnapshotEvery is the simulated-time spacing of progress snapshots
+	// (Result.Snapshots); 0 takes none.
+	SnapshotEvery time.Duration
+	// Clock, when non-nil, is a wall-clock sampler (teleclock.Clock())
+	// injected into the engine supervisor; it fills Result.Wall with the
+	// run/merge/barrier wall-time split. Sampled only between phases, so
+	// the simulated run is unaffected.
+	Clock func() int64 `json:"-"`
+	// OnSnapshot, when non-nil, observes each snapshot as it is taken —
+	// the live progress line (teleclock.Progress).
+	OnSnapshot func(telemetry.Snapshot) `json:"-"`
 }
 
 // Defaults returns the paper's baseline configuration: 230 nodes, 600 kbps
@@ -148,6 +180,15 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("experiment: Shards = %d, want >= 0", c.Shards)
+	}
+	if c.StreamingMetrics && c.Shards < 1 {
+		return fmt.Errorf("experiment: StreamingMetrics requires the sharded engine (Shards >= 1): barrier folding is a megasim capability")
+	}
+	if c.Telemetry != nil && c.Shards < 1 {
+		return fmt.Errorf("experiment: Telemetry requires the sharded engine (Shards >= 1): snapshots and wall profiling are supervisor hooks of megasim")
+	}
+	if c.Telemetry != nil && c.Telemetry.SnapshotEvery < 0 {
+		return fmt.Errorf("experiment: Telemetry.SnapshotEvery = %v, want >= 0", c.Telemetry.SnapshotEvery)
 	}
 	if p := c.ChurnProcess; p != nil && !p.IsZero() {
 		if err := p.Validate(); err != nil {
@@ -233,7 +274,9 @@ type NodeResult struct {
 type Result struct {
 	Config   Config
 	Duration time.Duration // simulated time executed
-	// Nodes holds one entry per non-source node, indexed by id-1.
+	// Nodes holds one entry per non-source node, indexed by id-1. Empty
+	// under Config.StreamingMetrics — Streaming carries the folded
+	// scoring state instead.
 	Nodes []NodeResult
 	// SourceCounters and SourceStats describe node 0, the stream source
 	// (its quality is trivially perfect and therefore not in Nodes).
@@ -241,6 +284,53 @@ type Result struct {
 	SourceStats    simnet.Stats
 	// Events is the number of simulator events executed (cost measure).
 	Events uint64
+	// Streaming holds the barrier-folded scoring state of a
+	// StreamingMetrics run; nil otherwise.
+	Streaming *StreamingResult
+	// ShardLoads is the per-shard load table of a sharded run (nil on the
+	// classic kernel): events by kind, windows, heap high-water, and
+	// cross-shard outbox volume per shard.
+	ShardLoads []telemetry.ShardLoad
+	// TotalTraffic aggregates every node's traffic counters, source
+	// included, on sharded runs (zero on the classic kernel, where
+	// summing Nodes plus SourceStats is equivalent).
+	TotalTraffic simnet.Stats
+	// ViewInDegree is the in-degree distribution of the final membership
+	// overlay — for each node alive at run end, how many live views hold
+	// its descriptor. Populated only on sharded Cyclon runs (the full-view
+	// substrates have trivial, complete in-degree); deterministic.
+	ViewInDegree telemetry.Hist
+	// Wall is the supervisor-sampled wall-time split; zero unless
+	// Config.Telemetry.Clock was set. Excluded from determinism
+	// comparisons — two bit-identical runs disagree here.
+	Wall telemetry.WallProfile
+	// Snapshots are the periodic progress snapshots taken every
+	// Config.Telemetry.SnapshotEvery of simulated time.
+	Snapshots []telemetry.Snapshot
+}
+
+// StreamingResult is the barrier-folded substitute for Result.Nodes: the
+// same scoring populations, reduced to flat accumulators as lifetimes
+// close (at each departure barrier, and at run end for survivors)
+// instead of being derived from retained Receivers afterwards. Scores
+// drawn from it are bit-identical to the batch path's.
+type StreamingResult struct {
+	// Survivors scores nodes alive at run end over the full stream — the
+	// population of Figures 1–3 and 5–8. Accumulators are added in node-id
+	// order, matching the batch reduction order float for float.
+	Survivors telemetry.QualitySet
+	// Present scores every node over the windows inside its lifetime
+	// shrunk by Config.BootstrapGrace() — Result.LifetimeQualities'
+	// population. Nodes with no eligible window are omitted.
+	Present telemetry.QualitySet
+	// Nodes/Joined/Departed count all non-source nodes ever present, the
+	// runtime-admitted subset, and the departed subset.
+	Nodes    int
+	Joined   int
+	Departed int
+	// Upload is the distribution of per-node mean upload rates in kbps
+	// (Figure 4's curve, as a histogram).
+	Upload telemetry.Hist
 }
 
 // SurvivorQualities returns the qualities of nodes alive at the end — the

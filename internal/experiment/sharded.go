@@ -11,6 +11,7 @@ import (
 	"gossipstream/internal/member"
 	"gossipstream/internal/pss"
 	"gossipstream/internal/stream"
+	"gossipstream/internal/telemetry"
 	"gossipstream/internal/wire"
 	"gossipstream/internal/xrand"
 )
@@ -61,6 +62,7 @@ func runSharded(cfg Config) (*Result, error) {
 	pssCfg := cfg.effectivePSS()
 	bootRng := xrand.New(cfg.Seed + 4049)
 
+	end := cfg.Layout.Duration() + cfg.Drain
 	d := deployment{
 		cfg:    cfg,
 		eng:    eng,
@@ -68,6 +70,9 @@ func runSharded(cfg Config) (*Result, error) {
 		peers:  make([]*core.Peer, cfg.Nodes),
 		joined: make([]time.Duration, cfg.Nodes),
 		left:   make([]time.Duration, cfg.Nodes),
+	}
+	if cfg.StreamingMetrics {
+		d.fold = newStreamFold(cfg, end)
 	}
 	if cfg.Membership == MembershipCyclon {
 		d.states = make([]*pss.State, cfg.Nodes)
@@ -105,7 +110,7 @@ func runSharded(cfg Config) (*Result, error) {
 	for _, ev := range cfg.Churn {
 		ev := ev
 		eng.AtBarrier(ev.At, func() {
-			crashBurst(eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = ev.At }, ev, churnRng)
+			crashBurst(eng, d.peers, d.stopSampler, d.noteCrash(ev.At), ev, churnRng)
 		})
 	}
 
@@ -125,7 +130,7 @@ func runSharded(cfg Config) (*Result, error) {
 				eng.AtBarrier(tev.At, func() { d.leave(tev.At, procRng) })
 			case churn.OpBurst:
 				eng.AtBarrier(tev.At, func() {
-					crashBurst(eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = tev.At }, churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
+					crashBurst(eng, d.peers, d.stopSampler, d.noteCrash(tev.At), churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
 				})
 			default:
 				return nil, fmt.Errorf("experiment: unknown churn op %v", tev.Op)
@@ -133,14 +138,75 @@ func runSharded(cfg Config) (*Result, error) {
 		}
 	}
 
-	end := cfg.Layout.Duration() + cfg.Drain
+	// Introspection hooks: wall-clock sampling and progress snapshots run
+	// on the supervisor between phases, never perturbing the run.
+	if t := cfg.Telemetry; t != nil {
+		if t.Clock != nil {
+			eng.SetWallClock(t.Clock)
+		}
+		if t.SnapshotEvery > 0 {
+			onSnap := t.OnSnapshot
+			eng.SetSnapshot(t.SnapshotEvery, func(at time.Duration) {
+				s := telemetry.Snapshot{
+					AtSeconds: at.Seconds(),
+					Live:      eng.Live(),
+					Events:    eng.Fired(),
+					Pending:   eng.Pending(),
+				}
+				d.snaps = append(d.snaps, s)
+				if onSnap != nil {
+					onSnap(s)
+				}
+			})
+		}
+	}
+
 	if err := eng.Run(end); err != nil {
 		return nil, err
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
-	return collectResult(cfg, end, eng, d.peers, eng.Fired(), d.joined, d.left), nil
+	var res *Result
+	if d.fold != nil {
+		res = d.collectStreaming(end)
+	} else {
+		res = collectResult(cfg, end, eng, d.peers, eng.Fired(), d.joined, d.left)
+	}
+	res.ShardLoads = eng.ShardLoads()
+	res.TotalTraffic = eng.TotalStats()
+	if d.states != nil {
+		res.ViewInDegree = d.inDegreeHist()
+	}
+	res.Wall = eng.WallProfile()
+	res.Snapshots = d.snaps
+	return res, nil
+}
+
+// inDegreeHist measures the final Cyclon overlay: for every node still
+// live at run end, the number of live views holding its descriptor. Runs
+// once after the engine stops (all shards quiescent), iterating node ids
+// in ascending order, so the histogram is deterministic.
+func (d *deployment) inDegreeHist() telemetry.Hist {
+	indeg := make([]int64, len(d.states))
+	for _, st := range d.states {
+		if st == nil || st.Stopped() {
+			continue
+		}
+		for _, e := range st.View() {
+			if int(e.ID) < len(indeg) {
+				indeg[e.ID]++
+			}
+		}
+	}
+	var h telemetry.Hist
+	for i, st := range d.states {
+		if st == nil || st.Stopped() {
+			continue
+		}
+		h.Observe(indeg[i])
+	}
+	return h
 }
 
 // deployment is the mutable state of one sharded run: the per-node slices
@@ -153,7 +219,68 @@ type deployment struct {
 	states []*pss.State // nil under MembershipFull
 	joined []time.Duration
 	left   []time.Duration
-	err    error // first admission failure, surfaced after Run
+	fold   *streamFold          // non-nil under Config.StreamingMetrics
+	snaps  []telemetry.Snapshot // progress snapshots (Config.Telemetry)
+	err    error                // first admission failure, surfaced after Run
+}
+
+// noteCrash returns the onCrash callback for a departure at the given
+// barrier time. Besides recording the lifetime, under StreamingMetrics it
+// folds the victim's scoring state — final, because a dead node's receiver
+// and sent-byte counters never change again — and then releases the whole
+// node (peer, membership record, engine arena slot). That release is the
+// memory unlock: a departed node costs nothing for the rest of the run.
+func (d *deployment) noteCrash(at time.Duration) func(wire.NodeID) {
+	return func(id wire.NodeID) {
+		d.left[id] = at
+		if d.fold == nil {
+			return
+		}
+		d.fold.fold(id, d.joined[id], at, false, d.peers[id], d.eng.NodeStats(id))
+		d.peers[id] = nil
+		if d.states != nil {
+			d.states[id] = nil
+		}
+		d.eng.Release(id)
+	}
+}
+
+// collectStreaming assembles a StreamingMetrics Result: survivors are
+// folded now (departed nodes were folded at their crash barriers), then
+// every accumulator is reduced in ascending node-id order — the batch
+// path's reduction order, which MeanCompleteFraction's float sum depends
+// on. Result.Nodes stays empty by design.
+func (d *deployment) collectStreaming(end time.Duration) *Result {
+	f := d.fold
+	for i := 1; i < len(d.peers); i++ {
+		if d.peers[i] == nil {
+			continue // departed: folded at its crash barrier
+		}
+		id := wire.NodeID(i)
+		f.fold(id, d.joined[i], end, true, d.peers[i], d.eng.NodeStats(id))
+	}
+	f.ensure(len(d.peers))
+	s := &StreamingResult{Upload: f.upload}
+	for i := 1; i < len(d.peers); i++ {
+		s.Nodes++
+		if d.joined[i] > 0 {
+			s.Joined++
+		}
+		if f.survived[i] {
+			s.Survivors.Add(f.full[i])
+		} else {
+			s.Departed++
+		}
+		s.Present.Add(f.present[i])
+	}
+	return &Result{
+		Config:         d.cfg,
+		Duration:       end,
+		SourceCounters: d.peers[0].Counters(),
+		SourceStats:    d.eng.NodeStats(0),
+		Events:         d.eng.Fired(),
+		Streaming:      s,
+	}
 }
 
 // stopSampler silences a crashed or departed node's membership record; a
@@ -238,7 +365,7 @@ func (d *deployment) leave(at time.Duration, rng *rand.Rand) {
 		return
 	}
 	victim := eligible[rng.Intn(len(eligible))]
-	crashNode(d.eng, d.peers, d.stopSampler, func(id wire.NodeID) { d.left[id] = at }, victim)
+	crashNode(d.eng, d.peers, d.stopSampler, d.noteCrash(at), victim)
 }
 
 // liveBootstrapIDs samples up to k distinct live nodes (excluding self) to

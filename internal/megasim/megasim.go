@@ -81,6 +81,7 @@ import (
 	"gossipstream/internal/member"
 	"gossipstream/internal/shaping"
 	"gossipstream/internal/simnet"
+	"gossipstream/internal/telemetry"
 	"gossipstream/internal/wire"
 )
 
@@ -154,6 +155,22 @@ type Engine struct {
 	// (AddNode/AttachSampler from a callback) safe.
 	inBarrier bool
 	ran       bool
+	// live counts alive nodes incrementally (AddNode/Crash), so progress
+	// snapshots need no O(n) scan.
+	live int
+
+	// Telemetry, all supervisor-side: wallNow is an injected wall-clock
+	// sampler (teleclock.Clock) read only between phases on the supervisor
+	// goroutine — never per event — so enabling it cannot perturb the
+	// simulated run; snapFn is a periodic snapshot hook called between
+	// conservative windows with every shard quiescent, deliberately NOT a
+	// barrier: it never truncates a window, so runs with and without
+	// snapshots stay bit-identical.
+	wallNow  func() int64
+	wall     telemetry.WallProfile
+	snapFn   func(at time.Duration)
+	snapEach time.Duration
+	snapNext time.Duration
 
 	phaseWg  sync.WaitGroup
 	workerWg sync.WaitGroup
@@ -221,6 +238,7 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 		up = *shaping.NewShaper(upBps, queueBytes)
 	}
 	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
+	e.live++
 	return id
 }
 
@@ -303,7 +321,36 @@ func (e *Engine) Alive(id NodeID) bool { return e.node(id).alive }
 
 // Crash silences a node: it stops sending and receiving. Only legal during
 // setup or inside an AtBarrier callback (shards are quiescent there).
-func (e *Engine) Crash(id NodeID) { e.node(id).alive = false }
+func (e *Engine) Crash(id NodeID) {
+	nd := e.node(id)
+	if nd.alive {
+		nd.alive = false
+		e.live--
+	}
+}
+
+// Live returns the number of alive nodes.
+func (e *Engine) Live() int { return e.live }
+
+// Release frees a crashed node's heavy state — handler, sampler, uplink
+// queue — so an experiment folding its metrics at the crash barrier can
+// let the node's protocol machinery be collected mid-run (the memory
+// unlock for long churn runs). The node keeps its drawn base latency
+// (pair latencies of in-flight traffic still read it) and its traffic
+// counters (NodeStats/TotalStats stay complete); every delivery and send
+// path checks alive before touching handler or sampler, so a released
+// node behaves exactly like a merely crashed one. Only legal during
+// setup or inside an AtBarrier callback.
+func (e *Engine) Release(id NodeID) {
+	e.checkMutable("Release")
+	nd := e.node(id)
+	if nd.alive {
+		panic(fmt.Sprintf("megasim: Release of live node %d", id))
+	}
+	nd.handler = nil
+	nd.sampler = nil
+	nd.uplink = shaping.Shaper{}
+}
 
 // BaseLatency returns the node's drawn base latency.
 func (e *Engine) BaseLatency(id NodeID) time.Duration { return e.node(id).base }
@@ -331,6 +378,75 @@ func (e *Engine) Fired() uint64 {
 		t += s.fired
 	}
 	return t
+}
+
+// Pending reports how many events are queued across all shards.
+func (e *Engine) Pending() int {
+	var t int
+	for _, s := range e.shards {
+		t += len(s.heap)
+	}
+	return t
+}
+
+// ShardLoads snapshots every shard's load counters in shard order. Like
+// all accessors it is safe at quiescent points: setup, an AtBarrier or
+// snapshot callback, or after Run.
+func (e *Engine) ShardLoads() []telemetry.ShardLoad {
+	out := make([]telemetry.ShardLoad, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = telemetry.ShardLoad{
+			Shard:       i,
+			Events:      s.fired,
+			Timers:      s.timers,
+			Delivers:    s.delivers,
+			MemberTicks: s.memberTicks,
+			Windows:     s.windowsRun,
+			HeapPeak:    s.heapPeak,
+			Pending:     len(s.heap),
+			OutboxOut:   s.outboxOut,
+			OutboxIn:    s.outboxIn,
+		}
+	}
+	return out
+}
+
+// SetWallClock injects a wall-clock sampler (teleclock.Clock) used to
+// profile where a run spends real time: window execution, cross-shard
+// merge, and barrier callbacks. The engine samples it only from the
+// supervisor goroutine between phases — never per event — so the
+// simulated run is bit-identical with and without a clock. Only legal
+// before Run.
+func (e *Engine) SetWallClock(fn func() int64) {
+	if e.ran || e.running {
+		panic("megasim: SetWallClock after Run started")
+	}
+	e.wallNow = fn
+}
+
+// WallProfile returns the wall-time split sampled via SetWallClock
+// (zero without a clock).
+func (e *Engine) WallProfile() telemetry.WallProfile { return e.wall }
+
+// SetSnapshot registers fn to run on the supervisor goroutine at the
+// first inter-window point at or past each multiple of every, with all
+// shards quiescent (accessors like Live, Fired, ShardLoads are safe).
+// Unlike AtBarrier it never truncates a conservative window, so a run
+// with snapshots enabled is bit-identical to the same run without.
+// Only legal before Run.
+func (e *Engine) SetSnapshot(every time.Duration, fn func(at time.Duration)) {
+	if e.ran || e.running {
+		panic("megasim: SetSnapshot after Run started")
+	}
+	if every <= 0 {
+		panic(fmt.Sprintf("megasim: SetSnapshot every %v, want > 0", every))
+	}
+	if fn == nil {
+		panic("megasim: SetSnapshot with nil fn")
+	}
+	e.snapEach = every
+	e.snapNext = every
+	e.snapFn = fn
 }
 
 // AtBarrier schedules fn to run at virtual time t with every shard
@@ -447,9 +563,16 @@ func (e *Engine) Run(until time.Duration) error {
 				}
 			}
 			e.inBarrier = true
+			var tb int64
+			if e.wallNow != nil {
+				tb = e.wallNow()
+			}
 			for gi < len(e.globals) && e.globals[gi].at == tg {
 				e.globals[gi].fn()
 				gi++
+			}
+			if e.wallNow != nil {
+				e.wall.BarrierNS += e.wallNow() - tb
 			}
 			e.inBarrier = false
 			continue
@@ -465,12 +588,35 @@ func (e *Engine) Run(until time.Duration) error {
 			wEnd = tg
 		}
 		if parallel {
-			e.phase(opRun, wEnd)
-			e.phase(opMerge, 0)
+			if e.wallNow != nil {
+				t0w := e.wallNow()
+				e.phase(opRun, wEnd)
+				t1w := e.wallNow()
+				e.phase(opMerge, 0)
+				e.wall.RunNS += t1w - t0w
+				e.wall.MergeNS += e.wallNow() - t1w
+			} else {
+				e.phase(opRun, wEnd)
+				e.phase(opMerge, 0)
+			}
+		} else if e.wallNow != nil {
+			t0w := e.wallNow()
+			e.shards[0].runWindow(wEnd)
+			e.wall.RunNS += e.wallNow() - t0w
 		} else {
 			e.shards[0].runWindow(wEnd)
 		}
 		e.now = wEnd
+		// Inter-window snapshot: every shard has finished the window and
+		// (in the parallel case) sits blocked on its command channel, so
+		// the hook may read any engine state race-free. Runs never gain or
+		// lose a window from this — the schedule above is untouched.
+		if e.snapFn != nil && e.now >= e.snapNext {
+			for e.snapNext <= e.now {
+				e.snapNext += e.snapEach
+			}
+			e.snapFn(e.now)
+		}
 	}
 
 	e.running = false
@@ -530,6 +676,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 	if d == sh.id {
 		sh.pushDelivery(at, from, to, int32(size), msg)
 	} else {
+		sh.outboxOut++
 		//lint:pooled outbox capacity is reused across windows; mergeInbound resets it to [:0]
 		sh.outbox[d] = append(sh.outbox[d], xmsg{at: at, from: from, to: to, size: int32(size), msg: msg})
 	}

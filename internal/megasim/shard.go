@@ -67,6 +67,16 @@ type shard struct {
 	seq   uint64
 	fired uint64
 
+	// Load counters, flat increments on the per-event path (hotalloc
+	// audits this file) and read only at quiescent points (ShardLoads).
+	timers      uint64 // evTimer events executed
+	delivers    uint64 // evDeliver events executed
+	memberTicks uint64 // evMemberTick events executed
+	windowsRun  uint64 // conservative windows run
+	heapPeak    int    // event-heap high-water mark
+	outboxOut   uint64 // cross-shard messages handed to other shards
+	outboxIn    uint64 // cross-shard messages merged in
+
 	nextTimer uint64
 	cancelled map[uint64]struct{}
 
@@ -108,6 +118,7 @@ func (s *shard) work() {
 // Events scheduled mid-window (timers, same-shard deliveries, membership
 // ticks) run in the same window when they fall before end.
 func (s *shard) runWindow(end time.Duration) {
+	s.windowsRun++
 	for len(s.heap) > 0 && s.heap[0].at < end {
 		ev := s.pop()
 		switch ev.kind {
@@ -120,14 +131,17 @@ func (s *shard) runWindow(end time.Duration) {
 			}
 			s.now = ev.at
 			s.fired++
+			s.timers++
 			ev.fn()
 		case evDeliver:
 			s.now = ev.at
 			s.fired++
+			s.delivers++
 			s.eng.deliver(s, &ev)
 		case evMemberTick:
 			s.now = ev.at
 			s.fired++
+			s.memberTicks++
 			s.eng.memberTick(s, ev.to)
 		}
 	}
@@ -143,6 +157,7 @@ func (s *shard) mergeInbound() {
 		if len(q) == 0 {
 			continue
 		}
+		s.outboxIn += uint64(len(q))
 		for i := range q {
 			m := &q[i]
 			s.pushDelivery(m.at, m.from, m.to, m.size, m.msg)
@@ -201,6 +216,9 @@ func (s *shard) push(ev event) {
 	s.seq++
 	//lint:pooled the heap's backing array persists for the shard's lifetime; growth amortizes to steady state
 	s.heap = append(s.heap, ev)
+	if len(s.heap) > s.heapPeak {
+		s.heapPeak = len(s.heap)
+	}
 	s.siftUp(len(s.heap) - 1)
 }
 

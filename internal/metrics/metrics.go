@@ -237,6 +237,11 @@ func (t *Table) NumRows() int { return len(t.rows) }
 // Row returns row i.
 func (t *Table) Row(i int) []string { return t.rows[i] }
 
+// Rows returns every data row in order — the export surface for
+// structured emitters (the telemetry run manifest serializes tables
+// through it).
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table as aligned monospace text.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Columns))

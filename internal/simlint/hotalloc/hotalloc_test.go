@@ -12,6 +12,12 @@ func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, hotalloc.New(lintcfg.Default()), "testdata", "megasim")
 }
 
+// TestHotAllocTelemetry guards the streaming fold path: the accumulator
+// Observe/Add/Merge roots must stay flat counter arithmetic.
+func TestHotAllocTelemetry(t *testing.T) {
+	linttest.Run(t, hotalloc.New(lintcfg.Default()), "testdata", "telemetry")
+}
+
 // TestCustomRoots exercises the config plumbing: the same fixture with no
 // hot roots configured must produce no findings at all.
 func TestCustomRoots(t *testing.T) {

@@ -74,9 +74,12 @@ type Config struct {
 // runtime and the command mains may touch the wall clock.
 func Default() *Config {
 	return &Config{
-		Deterministic: []string{"megasim", "core", "pss", "experiment", "churn", "stream", "wire"},
+		Deterministic: []string{"megasim", "core", "pss", "experiment", "churn", "stream", "wire", "telemetry"},
 		Kernel:        []string{"gf256", "fec"},
-		WallClockOK:   []string{"rt", "cmd", "examples"},
+		// teleclock is telemetry's wall-clock edge: it mints the injected
+		// clock and progress printers, and must outrank its parent
+		// telemetry segment.
+		WallClockOK: []string{"rt", "cmd", "examples", "teleclock"},
 		HotRoots: map[string][]string{
 			// The shard loop executes every simulated event; mergeInbound
 			// re-heaps every cross-shard delivery each window.
@@ -85,6 +88,10 @@ func Default() *Config {
 			"gf256": {"MulSlice", "MulAddSlices", "ScaleSlice"},
 			// The zero-allocation encode/decode entry points.
 			"fec": {"(*Code).EncodeInto", "(*Code).ReconstructInto"},
+			// The streaming fold path: Observe runs per window per node as
+			// lifetimes close, Add/Merge at barrier reduction — all must
+			// stay flat counter arithmetic.
+			"telemetry": {"(*Hist).Observe", "(*LagAccum).Observe", "(*Hist).Add", "(*LagAccum).Merge"},
 		},
 		XRandPath: "gossipstream/internal/xrand",
 	}

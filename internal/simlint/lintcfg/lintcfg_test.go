@@ -20,9 +20,14 @@ func TestClassify(t *testing.T) {
 		"gossipstream/internal/simnet":     Unclassified,
 		"gossipstream/internal/xrand":      Unclassified,
 		"gossipstream":                     Unclassified,
+		"gossipstream/internal/telemetry":  Deterministic,
+		// teleclock's path contains the deterministic telemetry segment
+		// too; WallClockOK precedence keeps the clock edge exempt.
+		"gossipstream/internal/telemetry/teleclock": WallClockOK,
 		// Fixture-style single-segment paths classify the same way.
-		"core": Deterministic,
-		"rt":   WallClockOK,
+		"core":      Deterministic,
+		"rt":        WallClockOK,
+		"telemetry": Deterministic,
 	}
 	for path, want := range cases {
 		if got := cfg.Classify(path); got != want {
@@ -51,6 +56,9 @@ func TestRoots(t *testing.T) {
 	}
 	if rs := cfg.Roots("gossipstream/internal/churn"); rs != nil {
 		t.Errorf("churn unexpectedly has hot roots %v", rs)
+	}
+	if rs := cfg.Roots("gossipstream/internal/telemetry"); len(rs) == 0 {
+		t.Error("telemetry has no hot roots configured")
 	}
 }
 

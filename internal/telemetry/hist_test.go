@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"math/bits"
+	"testing"
+
+	"gossipstream/internal/xrand"
+)
+
+func TestBucketMonotoneAndInverse(t *testing.T) {
+	// Exhaustive over small values, then spot-check across the range.
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < bucketOf(%d) = %d", v, b, v-1, prev)
+		}
+		prev = b
+		if low := BucketLow(b); low > v {
+			t.Fatalf("BucketLow(%d) = %d > sample %d", b, low, v)
+		}
+		if b+1 < NumBuckets && BucketLow(b+1) <= v {
+			t.Fatalf("sample %d at bucket %d, but BucketLow(%d) = %d", v, b, b+1, BucketLow(b+1))
+		}
+	}
+	for _, v := range []int64{-5, 0, 1, 1 << 20, 1<<40 + 12345, 1<<62 + 7, 1<<63 - 1} {
+		b := bucketOf(v)
+		if b < 0 || b >= NumBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+	}
+	if got := bucketOf(1<<63 - 1); got != NumBuckets-1 {
+		t.Fatalf("max value maps to bucket %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// Quarter-octave buckets: relative width ≤ 25% of the bucket's low end
+	// (exact for v < 4).
+	for b := 4; b < NumBuckets-1; b++ {
+		low, next := BucketLow(b), BucketLow(b+1)
+		e := bits.Len64(uint64(low)) - 1
+		if width := next - low; width != 1<<(e-2) {
+			t.Fatalf("bucket %d: width %d, want %d", b, width, int64(1)<<(e-2))
+		}
+	}
+}
+
+func TestHistObserveAndSummary(t *testing.T) {
+	var h Hist
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+	// The p50 representative is the low bound of the bucket holding the
+	// 50th sample; with ≤25% bucket width it sits within [37, 50].
+	if s.P50 < 37 || s.P50 > 50 {
+		t.Fatalf("p50 = %d, want within [37, 50]", s.P50)
+	}
+	if s.P99 > s.Max || s.P90 > s.P99 || s.P50 > s.P90 {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) < 75 {
+		t.Fatalf("extreme quantiles: p0=%d p100=%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestHistMergeEqualsSequential pins the shard-merge contract: samples
+// split across any number of per-shard histograms and merged in order
+// equal one sequential histogram.
+func TestHistMergeEqualsSequential(t *testing.T) {
+	rng := xrand.New(42)
+	samples := make([]int64, 5000)
+	for i := range samples {
+		samples[i] = int64(rng.Uint64() >> uint(rng.Intn(60)))
+	}
+	var whole Hist
+	for _, v := range samples {
+		whole.Observe(v)
+	}
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		parts := make([]Hist, shards)
+		for i, v := range samples {
+			parts[i%shards].Observe(v)
+		}
+		var merged Hist
+		for i := range parts {
+			merged.Add(&parts[i])
+		}
+		if merged != whole {
+			t.Fatalf("shards=%d: merged histogram differs from sequential", shards)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"time"
+)
+
+// The lag sentinels restate internal/metrics' values so this package
+// stays a leaf (importable from the engine without pulling the protocol
+// stack in). A test in internal/experiment pins them equal.
+const (
+	// InfiniteLag marks offline viewing (no deadline).
+	InfiniteLag = time.Duration(1<<63 - 1)
+	// NeverCompleted marks a window that never became viewable.
+	NeverCompleted = time.Duration(-1)
+	// DefaultJitterThreshold is the paper's quality bar: at most 1% of
+	// windows missed.
+	DefaultJitterThreshold = 0.01
+)
+
+// LagProbes is the canonical probe set of the streaming accumulators:
+// Figure 2's lag axis plus InfiniteLag. It covers every lag the figure
+// generators score at (offline, 20 s, 10 s), so a LagAccum folded once
+// can answer all Figure 1/2/3/5/6/7 columns afterwards.
+var LagProbes = []time.Duration{
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+	15 * time.Second, 20 * time.Second, 30 * time.Second, 45 * time.Second,
+	60 * time.Second, 90 * time.Second, 120 * time.Second, 150 * time.Second,
+	InfiniteLag,
+}
+
+// NumProbes is len(LagProbes), fixed so LagAccum stays a flat value.
+const NumProbes = 13
+
+// ProbeIndex returns the index of lag in LagProbes.
+func ProbeIndex(lag time.Duration) (int, bool) {
+	for i, p := range LagProbes {
+		if p == lag {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// LagAccum is the streaming substitute for one node's retained
+// metrics.Quality: the number of scored windows and, per probe lag, how
+// many of them completed within that lag. 60 flat bytes replace the
+// receiver (and its window state) a batch run holds until the end.
+//
+// Folding the same window lags through Observe in any order yields the
+// same accumulator, and Merge is associative and commutative, so
+// per-shard partials merged in deterministic shard order equal a single
+// sequential fold.
+type LagAccum struct {
+	Windows  int32
+	Complete [NumProbes]int32
+}
+
+// Observe folds one window's lag (NeverCompleted if the window never
+// became viewable). LagProbes is sorted, so a linear scan from the
+// small end stops at the first probe ≥ lag; every later probe also
+// completes. No allocation — this is a HotRoot-audited path.
+func (a *LagAccum) Observe(lag time.Duration) {
+	a.Windows++
+	if lag == NeverCompleted {
+		return
+	}
+	for i := NumProbes - 1; i >= 0; i-- {
+		if lag > LagProbes[i] {
+			break
+		}
+		a.Complete[i]++
+	}
+}
+
+// Merge folds o into a.
+func (a *LagAccum) Merge(o LagAccum) {
+	a.Windows += o.Windows
+	for i := range a.Complete {
+		a.Complete[i] += o.Complete[i]
+	}
+}
+
+// QualitySet reduces a population of per-node accumulators with
+// float-for-float the same expressions internal/metrics applies to
+// retained []Quality, so streaming scores are bit-identical to batch
+// scores. Add nodes in ascending node-id order: MeanCompleteFraction
+// sums floats in slice order, exactly as the batch path sums qualities
+// in node-id order.
+type QualitySet struct {
+	accums []LagAccum
+}
+
+// Add appends one node's accumulator. Nodes with no scored windows are
+// dropped, mirroring the batch path (LifetimeQualities omits nodes with
+// no eligible windows; full-run qualities always have Windows > 0).
+func (s *QualitySet) Add(a LagAccum) {
+	if a.Windows > 0 {
+		s.accums = append(s.accums, a)
+	}
+}
+
+// Len returns the number of scored nodes.
+func (s *QualitySet) Len() int { return len(s.accums) }
+
+// PercentViewable returns the percentage of nodes viewable at lag under
+// maxJitter — metrics.PercentViewable, streaming. lag must be a probe.
+func (s *QualitySet) PercentViewable(lag time.Duration, maxJitter float64) float64 {
+	p := mustProbe(lag)
+	if len(s.accums) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range s.accums {
+		// metrics: JitterAt = 1 - CompleteFraction; viewable when
+		// jitter <= maxJitter + 1e-12.
+		jitter := 1 - float64(a.Complete[p])/float64(a.Windows)
+		if jitter <= maxJitter+1e-12 {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(s.accums))
+}
+
+// MeanCompleteFraction returns the average percentage of complete
+// windows across nodes at lag — metrics.MeanCompleteFraction, streaming.
+func (s *QualitySet) MeanCompleteFraction(lag time.Duration) float64 {
+	p := mustProbe(lag)
+	if len(s.accums) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range s.accums {
+		sum += float64(a.Complete[p]) / float64(a.Windows)
+	}
+	return 100 * sum / float64(len(s.accums))
+}
+
+// LagCDFAt returns the percentage of nodes whose critical lag under
+// maxJitter is at most probe — one point of metrics.LagCDF, streaming.
+func (s *QualitySet) LagCDFAt(probe time.Duration, maxJitter float64) float64 {
+	p := mustProbe(probe)
+	if len(s.accums) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range s.accums {
+		// metrics.CriticalLag: need ceil((1-maxJitter)*windows*(1-1e-12))
+		// completed windows; need <= 0 means viewable at lag 0. The
+		// critical lag is the need-th smallest finite lag, so it is
+		// ≤ probe exactly when Complete[probe] >= need.
+		need := int(math.Ceil((1 - maxJitter) * float64(a.Windows) * (1 - 1e-12)))
+		if need <= 0 || int(a.Complete[p]) >= need {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(s.accums))
+}
+
+func mustProbe(lag time.Duration) int {
+	p, ok := ProbeIndex(lag)
+	if !ok {
+		panic("telemetry: lag is not in LagProbes")
+	}
+	return p
+}
