@@ -143,6 +143,47 @@ func BenchmarkMegasim100kShards8(b *testing.B) {
 	benchMegasim(b, 100_000, 8)
 }
 
+// BenchmarkMegasimQueue* are the scheduler ablation pair: the same
+// single-shard baseline run on the 4-ary heap and on the calendar queue.
+// Single-shard isolates the scheduler (no barrier or merge overlap to
+// hide behind); cmd/benchjson pairs each Calendar row with its Heap twin
+// and records the wall-time speedup in BENCH_sim.json
+// ("megasim_queue_ablation"), alongside the pure scheduler microbench
+// (BenchmarkMegasimQueueOps* in internal/megasim).
+func benchMegasimQueue(b *testing.B, nodes int, q QueueKind) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(nodes, 1, simulatedScale)
+		cfg.Seed = 1
+		cfg.Queue = q
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
+func BenchmarkMegasimQueueHeap2k(b *testing.B)     { benchMegasimQueue(b, 2_000, QueueHeap) }
+func BenchmarkMegasimQueueCalendar2k(b *testing.B) { benchMegasimQueue(b, 2_000, QueueCalendar) }
+
+func BenchmarkMegasimQueueHeap10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimQueue(b, 10_000, QueueHeap)
+}
+
+func BenchmarkMegasimQueueCalendar10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimQueue(b, 10_000, QueueCalendar)
+}
+
 // BenchmarkMegasimEventThroughput is the sharded counterpart of
 // BenchmarkSimulatorEventThroughput: events per wall-second at a size the
 // single-threaded kernel also handles, for apples-to-apples engine

@@ -58,6 +58,11 @@ type Report struct {
 	// end-of-run live heap against its "...Retained" twin — the memory
 	// saved by barrier-folded metrics over retained receivers.
 	StreamingMemory map[string]map[string]float64 `json:"megasim_streaming_memory,omitempty"`
+	// QueueAblation records, per calendar-queue scenario, the heap twin's
+	// wall time over the calendar's (the scheduler's speedup) — for the
+	// end-to-end single-shard runs and, with an events/s throughput ratio,
+	// the pure scheduler microbench.
+	QueueAblation map[string]map[string]float64 `json:"megasim_queue_ablation,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -71,25 +76,28 @@ func main() {
 		bench      = flag.String("bench", "BenchmarkMegasim", "simulation benchmark regex, run at -benchtime 1x (empty = skip)")
 		kernel     = flag.String("kernel", "BenchmarkFEC|BenchmarkMulSlice", "codec-kernel benchmark regex (empty = skip)")
 		kernelTime = flag.String("kernelbenchtime", "100x", "benchtime for the kernel pass; microsecond kernels need iterations beyond the simulators' 1x to report steady state")
+		queue      = flag.String("queue", "BenchmarkMegasimQueueOps", "pure scheduler microbenchmark regex, run in -queuepkg (empty = skip)")
+		queueTime  = flag.String("queuebenchtime", "2s", "benchtime for the scheduler microbench pass; per-op costs are nanoseconds, so it needs wall-clock averaging")
+		queuePkg   = flag.String("queuepkg", "./internal/megasim", "package containing the scheduler microbenchmarks")
 		short      = flag.Bool("short", false, "pass -short (skips the 10k/100k scale runs)")
 		timeout    = flag.Duration("timeout", 120*time.Minute, "go test timeout")
 		out        = flag.String("out", "BENCH_sim.json", "output path")
 		pkg        = flag.String("pkg", ".", "package containing the benchmarks")
 	)
 	flag.Parse()
-	if err := run(*bench, *kernel, *kernelTime, *pkg, *out, *timeout, *short); err != nil {
+	if err := run(*bench, *kernel, *kernelTime, *queue, *queueTime, *queuePkg, *pkg, *out, *timeout, *short); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes up to two `go test -bench` passes — the simulation-scale
-// scenarios at exactly one iteration each, and the FEC kernels at a
-// benchtime long enough to average out timer noise — and merges their
-// tables into one report.
-func run(simBench, kernelBench, kernelTime, pkg, out string, timeout time.Duration, short bool) error {
+// run executes up to three `go test -bench` passes — the simulation-scale
+// scenarios at exactly one iteration each, and the FEC kernels and
+// scheduler microbenchmarks at benchtimes long enough to average out
+// timer noise — and merges their tables into one report.
+func run(simBench, kernelBench, kernelTime, queueBench, queueTime, queuePkg, pkg, out string, timeout time.Duration, short bool) error {
 	var raw []byte
-	pass := func(bench, benchtime string) error {
+	pass := func(bench, benchtime, pkg string) error {
 		args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-count", "1",
 			"-timeout", timeout.String()}
 		if short {
@@ -112,19 +120,25 @@ func run(simBench, kernelBench, kernelTime, pkg, out string, timeout time.Durati
 	var regexes []string
 	if simBench != "" {
 		regexes = append(regexes, simBench)
-		if err := pass(simBench, "1x"); err != nil {
+		if err := pass(simBench, "1x", pkg); err != nil {
 			return err
 		}
 	}
 	if kernelBench != "" {
 		regexes = append(regexes, kernelBench)
-		if err := pass(kernelBench, kernelTime); err != nil {
+		if err := pass(kernelBench, kernelTime, pkg); err != nil {
+			return err
+		}
+	}
+	if queueBench != "" {
+		regexes = append(regexes, queueBench)
+		if err := pass(queueBench, queueTime, queuePkg); err != nil {
 			return err
 		}
 	}
 	bench := strings.Join(regexes, "|")
 	if bench == "" {
-		return fmt.Errorf("both -bench and -kernel empty: nothing to run")
+		return fmt.Errorf("-bench, -kernel, and -queue all empty: nothing to run")
 	}
 
 	rep := Report{
@@ -173,6 +187,7 @@ func run(simBench, kernelBench, kernelTime, pkg, out string, timeout time.Durati
 	rep.CyclonOverheads = cyclonOverheads(rep.Results)
 	rep.PoissonChurn = poissonChurn(rep.Results)
 	rep.StreamingMemory = streamingMemory(rep.Results)
+	rep.QueueAblation = queueAblation(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -271,6 +286,40 @@ func streamingMemory(results []Result) map[string]map[string]float64 {
 		if len(pair) > 0 {
 			out[name] = pair
 		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// queueAblation pairs each calendar-queue result — the end-to-end engine
+// runs ("MegasimQueueCalendar2k") and the pure scheduler microbench
+// ("MegasimQueueOpsCalendar") — with its heap twin (the same name with
+// "Calendar" replaced by "Heap") and records the heap-over-calendar wall
+// ratio: how much the O(1) scheduler buys at that scale. When both rows
+// report events/s, the throughput ratio is recorded too.
+func queueAblation(results []Result) map[string]map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	out := map[string]map[string]float64{}
+	for name, cal := range byName {
+		if !strings.Contains(name, "Queue") || !strings.Contains(name, "Calendar") {
+			continue
+		}
+		heap, ok := byName[strings.Replace(name, "Calendar", "Heap", 1)]
+		if !ok || heap.NsPerOp <= 0 || cal.NsPerOp <= 0 {
+			continue
+		}
+		pair := map[string]float64{"speedup": heap.NsPerOp / cal.NsPerOp}
+		if he, ce := heap.Metrics["events/s"], cal.Metrics["events/s"]; he > 0 && ce > 0 {
+			pair["heap_events_per_sec"] = he
+			pair["calendar_events_per_sec"] = ce
+			pair["events_per_sec_ratio"] = ce / he
+		}
+		out[name] = pair
 	}
 	if len(out) == 0 {
 		return nil

@@ -71,6 +71,40 @@ func TestStreamingMemoryPairing(t *testing.T) {
 	}
 }
 
+func TestQueueAblationPairing(t *testing.T) {
+	results := []Result{
+		// End-to-end pair: wall speedup only.
+		{Name: "MegasimQueueHeap2k", NsPerOp: 12e9, Metrics: map[string]float64{"events/op": 4e6}},
+		{Name: "MegasimQueueCalendar2k", NsPerOp: 10e9, Metrics: map[string]float64{"events/op": 4e6}},
+		// Microbench pair: speedup plus throughput ratio.
+		{Name: "MegasimQueueOpsHeap", NsPerOp: 300, Metrics: map[string]float64{"events/s": 6e6}},
+		{Name: "MegasimQueueOpsCalendar", NsPerOp: 100, Metrics: map[string]float64{"events/s": 18e6}},
+		// Unpaired calendar row: no entry.
+		{Name: "MegasimQueueCalendar10k", NsPerOp: 70e9},
+		// Non-queue Calendar-free rows never match.
+		{Name: "Megasim2kShards1", NsPerOp: 10e9},
+	}
+	got := queueAblation(results)
+	if len(got) != 2 {
+		t.Fatalf("queueAblation = %v, want exactly 2 pairs", got)
+	}
+	e2e := got["MegasimQueueCalendar2k"]
+	if math.Abs(e2e["speedup"]-1.2) > 1e-9 {
+		t.Fatalf("e2e speedup = %v, want 1.2", e2e["speedup"])
+	}
+	if _, ok := e2e["events_per_sec_ratio"]; ok {
+		t.Fatal("throughput ratio derived without events/s metrics")
+	}
+	micro := got["MegasimQueueOpsCalendar"]
+	if math.Abs(micro["speedup"]-3.0) > 1e-9 || math.Abs(micro["events_per_sec_ratio"]-3.0) > 1e-9 ||
+		math.Abs(micro["heap_events_per_sec"]-6e6) > 1e-3 || math.Abs(micro["calendar_events_per_sec"]-18e6) > 1e-3 {
+		t.Fatalf("micro pair = %v, want 3x on both axes", micro)
+	}
+	if got := queueAblation([]Result{{Name: "Megasim2kShards1", NsPerOp: 1}}); got != nil {
+		t.Fatalf("queueAblation = %v, want nil with no queue rows", got)
+	}
+}
+
 func TestPoissonChurnPairing(t *testing.T) {
 	results := []Result{
 		{Name: "Megasim2kCyclonShards1", NsPerOp: 10e9, Metrics: map[string]float64{"events/op": 4e6}},

@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		nodes   = fs.Int("nodes", 0, "override system size (0 = paper scale; the sweeps' scale axis)")
 		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		queue   = fs.String("queue", "heap", "sharded-engine scheduler: heap or calendar (same results, different wall time; needs -shards >= 1)")
 		members = fs.String("membership", "full", "membership substrate for every sweep: full or cyclon")
 		churnAt = fs.String("churn", "0", "base churn for every sweep: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (needs -membership cyclon and -shards >= 1)")
 		outDir  = fs.String("out", "figures", "directory for figure text files")
@@ -78,6 +79,11 @@ func run(args []string, out io.Writer) error {
 		base.Nodes = *nodes
 	}
 	base.Shards = *shards
+	q, err := gossipstream.ParseQueue(*queue)
+	if err != nil {
+		return fmt.Errorf("-%w", err)
+	}
+	base.Queue = q
 	m, err := gossipstream.ParseMembership(*members)
 	if err != nil {
 		return fmt.Errorf("-%w", err)

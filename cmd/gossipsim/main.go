@@ -51,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		nodes   = fs.Int("nodes", 230, "system size including the source")
 		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
+		queue   = fs.String("queue", "heap", "sharded-engine scheduler: heap or calendar (same results, different wall time; needs -shards >= 1)")
 		members = fs.String("membership", "full", "membership substrate: full (paper's global view) or cyclon (partial views)")
 		fanout  = fs.Int("fanout", 7, "gossip fanout f")
 		refresh = fs.Int("refresh", 1, "view refresh rate X (0 = never, the paper's ∞)")
@@ -100,6 +101,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-%w", err)
 	}
 	cfg.Membership = m
+	q, err := gossipstream.ParseQueue(*queue)
+	if err != nil {
+		return fmt.Errorf("-%w", err)
+	}
+	cfg.Queue = q
 	cfg.Nodes = *nodes
 	cfg.Shards = *shards
 	cfg.Seed = *seed

@@ -37,6 +37,7 @@ func main() {
 		churn     = flag.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (joins need -membership cyclon)")
 		members   = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		queue     = flag.String("queue", "calendar", "per-shard scheduler: calendar (fast) or heap")
 		streaming = flag.Bool("streaming", false, "fold quality metrics at engine barriers instead of retaining per-node receivers (same numbers, flat memory)")
 		progress  = flag.Bool("progress", false, "print a live progress line to stderr")
 		teleOut   = flag.String("telemetry", "", "write a JSON run manifest to this path (- = stdout)")
@@ -51,6 +52,12 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Membership = m
+	q, err := gossipstream.ParseQueue(*queue)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megascale: -%v\n", err)
+		os.Exit(1)
+	}
+	cfg.Queue = q
 	if err := gossipstream.ApplyChurnFlag(&cfg, *churn); err != nil {
 		fmt.Fprintf(os.Stderr, "megascale: -%v\n", err)
 		os.Exit(1)

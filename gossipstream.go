@@ -35,6 +35,7 @@ import (
 	"gossipstream/internal/churn"
 	"gossipstream/internal/core"
 	"gossipstream/internal/experiment"
+	"gossipstream/internal/megasim"
 	"gossipstream/internal/member"
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/pss"
@@ -169,6 +170,27 @@ func ParseMembership(s string) (Membership, error) {
 		return 0, fmt.Errorf("membership %q: want full or cyclon", s)
 	}
 }
+
+// Schedulers for the sharded engine's per-shard event queues
+// (ExperimentConfig.Queue). Both maintain the same strict event order, so
+// the choice never changes a run's Result — only its wall time.
+const (
+	// QueueHeap is the 4-ary implicit heap, the zero value.
+	QueueHeap = megasim.QueueHeap
+	// QueueCalendar is the calendar queue with a ladder-style overflow
+	// rung: O(1) amortized against the heap's O(log n), the high-throughput
+	// choice at 10k+ nodes.
+	QueueCalendar = megasim.QueueCalendar
+)
+
+// QueueKind selects the sharded engine's per-shard scheduler
+// (ExperimentConfig.Queue).
+type QueueKind = megasim.QueueKind
+
+// ParseQueue maps the CLI spelling of a scheduler ("heap", "calendar") to
+// its constant; tools share it so the accepted spellings and error
+// wording cannot drift.
+func ParseQueue(s string) (QueueKind, error) { return megasim.ParseQueue(s) }
 
 // OfflineLag selects offline viewing (no deadline) in quality queries.
 const OfflineLag = metrics.InfiniteLag

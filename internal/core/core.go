@@ -187,11 +187,12 @@ type Peer struct {
 	counters    Counters
 	layoutTotal int
 
-	// pubScratch and serveScratch are reused across rounds so the per-tick
-	// publish and serve paths do not allocate; they are cleared after use
-	// to avoid pinning packets.
+	// pubScratch, serveScratch, and serveBatches are reused across rounds
+	// so the per-tick publish and serve paths do not allocate; they are
+	// cleared after use to avoid pinning packets.
 	pubScratch   []*stream.Packet
 	serveScratch []*stream.Packet
+	serveBatches []wire.Serve
 }
 
 // NewPeer returns an ordinary (non-source) peer over the given sampler.
@@ -456,11 +457,16 @@ func (p *Peer) handleRequest(from wire.NodeID, m wire.Request) {
 		}
 	}
 	if len(pkts) > 0 {
-		for _, serve := range wire.SplitServe(pkts) {
+		// The batch backings are pooled; ownership passes to the Env, whose
+		// transport recycles them once the messages are consumed or dropped.
+		batches := wire.SplitServeInto(p.serveBatches[:0], pkts)
+		for _, serve := range batches {
 			p.env.Send(from, serve)
 			p.counters.ServesSent++
 			p.counters.PacketsServed += len(serve.Packets)
 		}
+		clear(batches)
+		p.serveBatches = batches[:0]
 	}
 	clear(pkts)
 	p.serveScratch = pkts[:0]

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gossipstream/internal/churn"
+	"gossipstream/internal/megasim"
 	"gossipstream/internal/metrics"
 )
 
@@ -201,6 +202,62 @@ func TestShardedCatastropheAndHeterogeneous(t *testing.T) {
 // ChurnAt adapts churn.Catastrophic without importing it in every test.
 func ChurnAt(at time.Duration, fraction float64) []churn.Event {
 	return []churn.Event{{At: at, Fraction: fraction}}
+}
+
+// TestCalendarQueue2kCyclonChurnTwin is the calendar-scheduler acceptance
+// run: a 2k-node sharded deployment over Cyclon partial views under
+// sustained Poisson churn, run twice on the calendar queue — replays must
+// be deep-equal with byte-identical quality metrics — and once on the
+// heap, whose Result must match the calendar runs exactly (the scheduler
+// choice may change wall time, never outcomes). Skipped under -short.
+func TestCalendarQueue2kCyclonChurnTwin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-node queue-ablation twin run skipped in -short mode")
+	}
+	cfg := Defaults()
+	cfg.Nodes = 2000
+	cfg.Shards = 3
+	cfg.Seed = 3
+	cfg.Layout.Windows = 5 // ≈9 s of stream
+	cfg.Drain = 8 * time.Second
+	cfg.Membership = MembershipCyclon
+	proc := churn.SustainedPoisson(20, 20) // 1%/s of the initial 2k
+	cfg.ChurnProcess = &proc
+	cfg.Queue = megasim.QueueCalendar
+
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("calendar queue: identical (seed, shards) produced different Results")
+	}
+	if qualityHash(t, a) != qualityHash(t, b) {
+		t.Fatal("calendar queue: quality metrics not byte-identical")
+	}
+
+	hcfg := cfg
+	hcfg.Queue = megasim.QueueHeap
+	h, err := Run(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qualityHash(t, h) != qualityHash(t, a) {
+		t.Fatal("heap and calendar engines disagree on quality metrics")
+	}
+	// The recorded Config.Queue is the one intended difference; everything
+	// else — counters, stats, shard loads, admissions — must be identical.
+	h.Config.Queue = a.Config.Queue
+	if !reflect.DeepEqual(a, h) {
+		t.Fatal("heap and calendar engines produced different Results")
+	}
+	if a.Events == 0 {
+		t.Fatal("queue-ablation run executed no events")
+	}
 }
 
 // TestSharded10kPoissonChurnTwin is the sustained-churn acceptance run: two

@@ -19,6 +19,7 @@ import (
 
 	"gossipstream/internal/churn"
 	"gossipstream/internal/core"
+	"gossipstream/internal/megasim"
 	"gossipstream/internal/member"
 	"gossipstream/internal/metrics"
 	"gossipstream/internal/pss"
@@ -99,6 +100,11 @@ type Config struct {
 	// Results are deterministic for a fixed (Seed, Shards) pair but not
 	// bit-identical across engines or shard counts.
 	Shards int
+	// Queue selects the sharded engine's per-shard scheduler: the 4-ary
+	// heap (the zero value) or the calendar queue. Both maintain the same
+	// strict (at, seq) event order, so the choice never changes a run's
+	// Result — only its wall time. Requires the sharded engine.
+	Queue megasim.QueueKind
 	// StreamingMetrics folds quality scoring incrementally at the engine's
 	// barriers instead of retaining every node's Receiver until run end —
 	// the memory unlock for million-node runs: a departing node's whole
@@ -180,6 +186,12 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("experiment: Shards = %d, want >= 0", c.Shards)
+	}
+	if c.Queue > megasim.QueueCalendar {
+		return fmt.Errorf("experiment: unknown queue kind %d", c.Queue)
+	}
+	if c.Queue != megasim.QueueHeap && c.Shards < 1 {
+		return fmt.Errorf("experiment: Queue = %s requires the sharded engine (Shards >= 1): the scheduler choice is a megasim capability", c.Queue)
 	}
 	if c.StreamingMetrics && c.Shards < 1 {
 		return fmt.Errorf("experiment: StreamingMetrics requires the sharded engine (Shards >= 1): barrier folding is a megasim capability")

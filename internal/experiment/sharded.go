@@ -49,7 +49,7 @@ func runSharded(cfg Config) (*Result, error) {
 	if cfg.Shards > cfg.Nodes {
 		cfg.Shards = cfg.Nodes
 	}
-	eng, err := megasim.New(megasim.Config{Net: cfg.Net, Shards: cfg.Shards, Seed: cfg.Seed})
+	eng, err := megasim.New(megasim.Config{Net: cfg.Net, Shards: cfg.Shards, Seed: cfg.Seed, Queue: cfg.Queue})
 	if err != nil {
 		return nil, err
 	}

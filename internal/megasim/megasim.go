@@ -94,6 +94,47 @@ type Handler interface {
 	HandleMessage(from NodeID, msg wire.Message)
 }
 
+// QueueKind selects the per-shard event-scheduler implementation. Both
+// kinds maintain the same strict (at, seq) total order, so for a fixed
+// (seed, shards) pair the simulated run is bit-identical across kinds —
+// the choice only changes wall time.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the 4-ary min-heap: O(log n) per operation,
+	// insensitive to the shape of the schedule. The default.
+	QueueHeap QueueKind = iota
+	// QueueCalendar is the calendar queue with a ladder-style overflow
+	// rung: O(1) amortized enqueue/dequeue when event spacing is stable —
+	// which gossip traffic, concentrated around the shuffle/tick period,
+	// is. Self-tunes its bucket width and resizes on skew.
+	QueueCalendar
+)
+
+// String names the queue kind as the -queue flag spells it.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", uint8(k))
+	}
+}
+
+// ParseQueue parses a -queue flag value ("heap" or "calendar").
+func ParseQueue(s string) (QueueKind, error) {
+	switch s {
+	case "heap":
+		return QueueHeap, nil
+	case "calendar":
+		return QueueCalendar, nil
+	default:
+		return 0, fmt.Errorf("megasim: unknown queue kind %q (want heap or calendar)", s)
+	}
+}
+
 // Config controls the engine. The network model is simnet's.
 type Config struct {
 	// Net carries the latency, jitter, and loss model. The engine requires
@@ -105,6 +146,9 @@ type Config struct {
 	// Seed drives the engine's internal random streams (latency draws,
 	// per-message jitter and loss). Node logic carries its own streams.
 	Seed int64
+	// Queue selects the per-shard scheduler (QueueHeap default). Results
+	// are bit-identical across kinds; only wall time differs.
+	Queue QueueKind
 }
 
 // infTime is the maximum representable virtual time, used as "no event".
@@ -189,6 +233,8 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("megasim: JitterFrac = %v, want [0,1)", cfg.Net.JitterFrac)
 	case cfg.Net.BaseLatencySigma < 0:
 		return nil, fmt.Errorf("megasim: BaseLatencySigma = %v, want >= 0", cfg.Net.BaseLatencySigma)
+	case cfg.Queue > QueueCalendar:
+		return nil, fmt.Errorf("megasim: unknown queue kind %d", cfg.Queue)
 	}
 	// tickRng de-phases membership tick schedules on a stream separate
 	// from setup so attaching samplers never perturbs topology draws
@@ -384,7 +430,7 @@ func (e *Engine) Fired() uint64 {
 func (e *Engine) Pending() int {
 	var t int
 	for _, s := range e.shards {
-		t += len(s.heap)
+		t += s.q.len()
 	}
 	return t
 }
@@ -402,8 +448,8 @@ func (e *Engine) ShardLoads() []telemetry.ShardLoad {
 			Delivers:    s.delivers,
 			MemberTicks: s.memberTicks,
 			Windows:     s.windowsRun,
-			HeapPeak:    s.heapPeak,
-			Pending:     len(s.heap),
+			HeapPeak:    s.q.peak(),
+			Pending:     s.q.len(),
 			OutboxOut:   s.outboxOut,
 			OutboxIn:    s.outboxIn,
 		}
@@ -654,6 +700,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 	}
 	src := e.node(from)
 	if !src.alive {
+		recycleMsg(msg)
 		return
 	}
 	// Like simnet: the bandwidth limiter throttles application bytes only.
@@ -662,6 +709,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 	depart, ok := src.uplink.Enqueue(now, size)
 	if !ok {
 		src.stats.CongestionDrops++
+		recycleMsg(msg)
 		return
 	}
 	k := msg.Kind()
@@ -669,6 +717,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 	src.stats.SentBytes[k] += uint64(size)
 	if e.cfg.Net.LossRate > 0 && sh.rng.Float64() < e.cfg.Net.LossRate {
 		src.stats.RandomDrops++
+		recycleMsg(msg)
 		return
 	}
 	at := depart + e.pairLatency(sh, from, to)
@@ -693,6 +742,7 @@ func (e *Engine) deliver(sh *shard, ev *event) {
 	src, dst := &e.nodes[ev.from], &e.nodes[ev.to]
 	if !src.alive || !dst.alive {
 		dst.stats.DeadDrops++
+		recycleMsg(ev.msg)
 		return
 	}
 	k := ev.msg.Kind()
@@ -707,6 +757,18 @@ func (e *Engine) deliver(sh *shard, ev *event) {
 		return
 	}
 	dst.handler.HandleMessage(ev.from, ev.msg)
+	// The engine is the message's last consumer: handlers retain packet
+	// pointers, never message slices, so pooled backings go back here.
+	recycleMsg(ev.msg)
+}
+
+// recycleMsg returns a message's pooled resources once no consumer will
+// see it again: every send ends in exactly one of the drop paths or one
+// delivery, so each SERVE backing is recycled exactly once.
+func recycleMsg(msg wire.Message) {
+	if s, ok := msg.(wire.Serve); ok {
+		wire.RecycleServe(s)
+	}
 }
 
 // pairLatency mirrors simnet's latency model: the mean of the node bases,

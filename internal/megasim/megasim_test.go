@@ -1,6 +1,7 @@
 package megasim
 
 import (
+	"flag"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -16,6 +17,24 @@ import (
 // the median apart, nothing is lost.
 func flatNet(median time.Duration) simnet.Config {
 	return simnet.Config{BaseLatencyMedian: median}
+}
+
+// queueFlag re-runs the engine-level tests against a specific scheduler:
+// CI's race job adds `-queue calendar` so the determinism and barrier
+// tests cover both queue kinds. Tests that pin an explicit Config.Queue
+// call New directly and are unaffected.
+var queueFlag = flag.String("queue", "", "scheduler for engine tests: heap or calendar")
+
+// newEngine is New with the -queue override applied.
+func newEngine(cfg Config) (*Engine, error) {
+	if *queueFlag != "" {
+		kind, err := ParseQueue(*queueFlag)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Queue = kind
+	}
+	return New(cfg)
 }
 
 type recorder struct {
@@ -48,29 +67,33 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestHeapPopsInTimeSeqOrder(t *testing.T) {
-	e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := e.shards[0]
-	rng := rand.New(rand.NewSource(7))
-	const n = 500
-	for i := 0; i < n; i++ {
-		at := time.Duration(rng.Intn(50)) * time.Millisecond
-		s.push(event{at: at, fn: func() {}})
-	}
-	var prevAt time.Duration
-	var prevSeq uint64
-	for i := 0; i < n; i++ {
-		ev := s.pop()
-		if ev.at < prevAt {
-			t.Fatalf("pop %d: time went backwards: %v after %v", i, ev.at, prevAt)
-		}
-		if ev.at == prevAt && i > 0 && ev.seq < prevSeq {
-			t.Fatalf("pop %d: seq went backwards at %v: %d after %d", i, ev.at, ev.seq, prevSeq)
-		}
-		prevAt, prevSeq = ev.at, ev.seq
+func TestQueuePopsInTimeSeqOrder(t *testing.T) {
+	for _, kind := range []QueueKind{QueueHeap, QueueCalendar} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond), Queue: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := e.shards[0]
+			rng := rand.New(rand.NewSource(7))
+			const n = 500
+			for i := 0; i < n; i++ {
+				at := time.Duration(rng.Intn(50)) * time.Millisecond
+				s.push(event{at: at, fn: func() {}})
+			}
+			var prevAt time.Duration
+			var prevSeq uint64
+			for i := 0; i < n; i++ {
+				ev := s.q.pop()
+				if ev.at < prevAt {
+					t.Fatalf("pop %d: time went backwards: %v after %v", i, ev.at, prevAt)
+				}
+				if ev.at == prevAt && i > 0 && ev.seq < prevSeq {
+					t.Fatalf("pop %d: seq went backwards at %v: %d after %d", i, ev.at, ev.seq, prevSeq)
+				}
+				prevAt, prevSeq = ev.at, ev.seq
+			}
+		})
 	}
 }
 
@@ -79,7 +102,7 @@ func TestHeapPopsInTimeSeqOrder(t *testing.T) {
 // latency after the send, regardless of the conservative window size.
 func TestCrossShardDeliveryTiming(t *testing.T) {
 	const lat = 10 * time.Millisecond
-	e, err := New(Config{Shards: 2, Net: flatNet(lat)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(lat)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +178,7 @@ func chatterRun(t *testing.T, seed int64, shards int) ([]simnet.Stats, uint64) {
 			PairSpread:        0.3,
 		},
 	}
-	e, err := New(cfg)
+	e, err := newEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +232,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 func TestDropCountersMirrorSimnet(t *testing.T) {
 	// Congestion: a 8 kbps uplink with a 20-byte queue; FEED-ME costs 7
 	// bytes on the shaped link, so a burst overflows quickly.
-	e, err := New(Config{Shards: 2, Net: flatNet(5 * time.Millisecond)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(5 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +268,7 @@ func TestDropCountersMirrorSimnet(t *testing.T) {
 
 func TestDeadDropCountedAtReceiver(t *testing.T) {
 	const lat = 10 * time.Millisecond
-	e, err := New(Config{Shards: 2, Net: flatNet(lat)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(lat)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +296,7 @@ func TestDeadDropCountedAtReceiver(t *testing.T) {
 }
 
 func TestCrashedSenderSilent(t *testing.T) {
-	e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 1, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +321,7 @@ func TestCrashedSenderSilent(t *testing.T) {
 func TestRandomLoss(t *testing.T) {
 	cfg := Config{Shards: 2, Seed: 9, Net: flatNet(time.Millisecond)}
 	cfg.Net.LossRate = 0.5
-	e, err := New(cfg)
+	e, err := newEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +349,7 @@ func TestRandomLoss(t *testing.T) {
 }
 
 func TestTimerCancel(t *testing.T) {
-	e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 1, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +369,7 @@ func TestTimerCancel(t *testing.T) {
 }
 
 func TestBarrierRunsBeforeSameInstantEvents(t *testing.T) {
-	e, err := New(Config{Shards: 2, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +390,7 @@ func TestBarrierRunsBeforeSameInstantEvents(t *testing.T) {
 }
 
 func TestRunTwiceFails(t *testing.T) {
-	e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 1, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +403,7 @@ func TestRunTwiceFails(t *testing.T) {
 }
 
 func TestEventsAtDeadlineExecute(t *testing.T) {
-	e, err := New(Config{Shards: 2, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +431,7 @@ func TestEventsAtDeadlineExecute(t *testing.T) {
 // TestServePayloadCrossesShards moves a real payload-carrying message
 // between shards, the path the gossip protocol stresses hardest.
 func TestServePayloadCrossesShards(t *testing.T) {
-	e, err := New(Config{Shards: 2, Net: flatNet(2 * time.Millisecond)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(2 * time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,11 +18,12 @@ const (
 	evMemberTick
 )
 
-// event is one scheduled occurrence, stored by value in the shard heap: a
-// timer, a message delivery, or a membership tick (the node id rides in
-// to). Compared to simnet's closure-per-message representation this is a
-// single flat record, so the per-message cost is a heap slot, not two heap
-// allocations.
+// event is one scheduled occurrence, stored by value in the shard's
+// scheduler: a timer, a message delivery, or a membership tick (the node
+// id rides in to). Compared to simnet's closure-per-message
+// representation this is a single flat record, so the per-message cost is
+// a queue slot, not two heap allocations — a property both queue kinds
+// preserve.
 type event struct {
 	at      time.Duration
 	seq     uint64
@@ -63,17 +64,20 @@ type shard struct {
 	rng *rand.Rand
 	now time.Duration
 
-	heap  []event
+	// q is the event scheduler — heap or calendar per Config.Queue. Both
+	// maintain the same strict (at, seq) order, so the queue kind never
+	// changes a run's results, only its wall time.
+	q     scheduler
 	seq   uint64
 	fired uint64
 
 	// Load counters, flat increments on the per-event path (hotalloc
 	// audits this file) and read only at quiescent points (ShardLoads).
+	// The pending-event high-water mark lives in the scheduler (q.peak).
 	timers      uint64 // evTimer events executed
 	delivers    uint64 // evDeliver events executed
 	memberTicks uint64 // evMemberTick events executed
 	windowsRun  uint64 // conservative windows run
-	heapPeak    int    // event-heap high-water mark
 	outboxOut   uint64 // cross-shard messages handed to other shards
 	outboxIn    uint64 // cross-shard messages merged in
 
@@ -93,6 +97,7 @@ func newShard(e *Engine, id int, rng *rand.Rand) *shard {
 		id:        id,
 		eng:       e,
 		rng:       rng,
+		q:         newScheduler(e.cfg.Queue),
 		cancelled: make(map[uint64]struct{}),
 		outbox:    make([][]xmsg, e.cfg.Shards),
 		cmds:      make(chan shardCmd, 1),
@@ -119,8 +124,12 @@ func (s *shard) work() {
 // ticks) run in the same window when they fall before end.
 func (s *shard) runWindow(end time.Duration) {
 	s.windowsRun++
-	for len(s.heap) > 0 && s.heap[0].at < end {
-		ev := s.pop()
+	for {
+		at, ok := s.q.peekAt()
+		if !ok || at >= end {
+			break
+		}
+		ev := s.q.pop()
 		switch ev.kind {
 		case evTimer:
 			if len(s.cancelled) > 0 {
@@ -147,7 +156,8 @@ func (s *shard) runWindow(end time.Duration) {
 	}
 }
 
-// mergeInbound folds deliveries addressed to this shard into its heap.
+// mergeInbound folds deliveries addressed to this shard into its
+// scheduler.
 // Sources are visited in shard order and each outbox preserves send
 // order, so the sequence numbers assigned here — the tie-break for
 // same-instant events — are independent of goroutine interleaving.
@@ -169,10 +179,7 @@ func (s *shard) mergeInbound() {
 
 // nextAt returns the timestamp of the earliest pending event.
 func (s *shard) nextAt() (time.Duration, bool) {
-	if len(s.heap) == 0 {
-		return 0, false
-	}
-	return s.heap[0].at, true
+	return s.q.peekAt()
 }
 
 // after schedules fn at now+d on this shard and returns a cancel func.
@@ -204,84 +211,12 @@ func (s *shard) pushMemberTick(at time.Duration, id NodeID) {
 	s.push(event{at: at, to: id, kind: evMemberTick})
 }
 
-// The scheduler is a 4-ary min-heap over (at, seq): half the depth of a
-// binary heap and contiguous children, which matters when the heap holds
-// tens of thousands of 64-byte in-flight events. Sift operations use hole
-// insertion (shift entries toward the hole, write the moving element
-// once) instead of pairwise swaps.
-
-// push inserts ev into the heap, assigning its sequence number.
+// push inserts ev into the shard's scheduler, assigning its sequence
+// number. Sequence assignment stays here — outside the scheduler — so
+// both queue kinds see identical (at, seq) streams and the merge-order
+// determinism argument is independent of the queue implementation.
 func (s *shard) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	//lint:pooled the heap's backing array persists for the shard's lifetime; growth amortizes to steady state
-	s.heap = append(s.heap, ev)
-	if len(s.heap) > s.heapPeak {
-		s.heapPeak = len(s.heap)
-	}
-	s.siftUp(len(s.heap) - 1)
-}
-
-// pop removes and returns the earliest event.
-func (s *shard) pop() event {
-	h := s.heap
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = event{} // release fn/msg references
-	s.heap = h[:n]
-	if n > 0 {
-		h[0] = last
-		s.siftDown(0)
-	}
-	return top
-}
-
-func evLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (s *shard) siftUp(i int) {
-	h := s.heap
-	ev := h[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if !evLess(&ev, &h[p]) {
-			break
-		}
-		h[i] = h[p]
-		i = p
-	}
-	h[i] = ev
-}
-
-func (s *shard) siftDown(i int) {
-	h := s.heap
-	n := len(h)
-	ev := h[i]
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if evLess(&h[j], &h[m]) {
-				m = j
-			}
-		}
-		if !evLess(&h[m], &ev) {
-			break
-		}
-		h[i] = h[m]
-		i = m
-	}
-	h[i] = ev
+	s.q.push(&ev)
 }

@@ -25,7 +25,7 @@ func loadRun(t *testing.T, shards int, snapEvery time.Duration, snaps *[]time.Du
 			PairSpread:        0.3,
 		},
 	}
-	e, err := New(cfg)
+	e, err := newEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestSingleShardHasNoOutboxTraffic(t *testing.T) {
 }
 
 func TestLiveTracksCrashes(t *testing.T) {
-	e, err := New(Config{Shards: 1, Net: flatNet(time.Millisecond)})
+	e, err := newEngine(Config{Shards: 1, Net: flatNet(time.Millisecond)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestLiveTracksCrashes(t *testing.T) {
 
 func TestReleaseFreesOnlyDeadNodes(t *testing.T) {
 	const lat = 10 * time.Millisecond
-	e, err := New(Config{Shards: 2, Net: flatNet(lat)})
+	e, err := newEngine(Config{Shards: 2, Net: flatNet(lat)})
 	if err != nil {
 		t.Fatal(err)
 	}

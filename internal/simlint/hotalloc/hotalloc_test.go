@@ -18,6 +18,13 @@ func TestHotAllocTelemetry(t *testing.T) {
 	linttest.Run(t, hotalloc.New(lintcfg.Default()), "testdata", "telemetry")
 }
 
+// TestHotAllocWire pins the pooled-backing contract on the SERVE batch
+// split: appends into pool-drawn capacity pass only with //lint:pooled,
+// and the recycle path outside the root stays free.
+func TestHotAllocWire(t *testing.T) {
+	linttest.Run(t, hotalloc.New(lintcfg.Default()), "testdata", "wire")
+}
+
 // TestCustomRoots exercises the config plumbing: the same fixture with no
 // hot roots configured must produce no findings at all.
 func TestCustomRoots(t *testing.T) {

@@ -60,6 +60,24 @@ func TestRoots(t *testing.T) {
 	if rs := cfg.Roots("gossipstream/internal/telemetry"); len(rs) == 0 {
 		t.Error("telemetry has no hot roots configured")
 	}
+	if rs := cfg.Roots("gossipstream/internal/wire"); len(rs) == 0 {
+		t.Error("wire has no hot roots configured")
+	}
+	// The scheduler implementations must be their own roots: the shard
+	// calls them through an interface, which ends hotalloc's static walk,
+	// so dropping these entries would silently un-audit the queues.
+	roots := map[string]bool{}
+	for _, r := range cfg.Roots("gossipstream/internal/megasim") {
+		roots[r] = true
+	}
+	for _, want := range []string{
+		"(*heapQueue).push", "(*heapQueue).pop",
+		"(*calendarQueue).push", "(*calendarQueue).pop", "(*calendarQueue).peekAt",
+	} {
+		if !roots[want] {
+			t.Errorf("megasim hot roots missing queue entry point %s", want)
+		}
+	}
 }
 
 func TestClassString(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"gossipstream/internal/stream"
 )
@@ -353,32 +354,73 @@ func SplitIDs(ids []stream.PacketID) [][]stream.PacketID {
 	return out
 }
 
-// SplitServe partitions packets into SERVE messages that each fit within
-// the MTU. A single oversized packet still yields its own message (the
-// transport will fragment); with the paper's 1250-byte payloads this never
-// happens.
+// maxPacketsPerServe bounds the packets one SERVE can carry: the split
+// never exceeds the MTU for multi-packet messages, and each packet costs
+// at least packetHeaderBytes, so the bound is exact when payloads are
+// empty. Oversized single-packet messages hold one packet and also fit.
+const maxPacketsPerServe = (MTUBytes - headerBytes) / packetHeaderBytes
+
+// servePool recycles per-message Packets backings. The fixed array size
+// means RecycleServe can recover the array pointer from the slice alone
+// (no wrapper to thread through Serve), and pointers box into the pool's
+// interface without allocating.
+var servePool = sync.Pool{
+	New: func() any { return new([maxPacketsPerServe]*stream.Packet) },
+}
+
+// SplitServeInto partitions packets into SERVE messages appended to dst,
+// each fitting within the MTU. A single oversized packet still yields its
+// own message (the transport will fragment); with the paper's 1250-byte
+// payloads this never happens.
 //
-// All returned messages share one freshly allocated backing array — two
-// allocations per call however many batches result — because simulations
+// Each message's Packets backing comes from an internal pool — simulations
 // at 100k+ nodes create millions of SERVEs and the per-batch slices were
-// a top allocation site.
-func SplitServe(packets []*stream.Packet) []Serve {
+// the largest remaining allocation site. Ownership of the backing travels
+// with the message: whoever consumes a Serve last calls RecycleServe once
+// the slice (not the packets — those are never pooled) is unreferenced.
+// Callers that cannot track consumption simply never recycle and the
+// backings fall to the garbage collector, which is the pre-pool behavior.
+func SplitServeInto(dst []Serve, packets []*stream.Packet) []Serve {
 	if len(packets) == 0 {
-		return nil
+		return dst
 	}
-	all := make([]*stream.Packet, len(packets))
-	copy(all, packets)
-	var out []Serve
-	start := 0
+	arr := servePool.Get().(*[maxPacketsPerServe]*stream.Packet)
+	batch := arr[:0]
 	size := headerBytes
-	for i, p := range all {
+	for _, p := range packets {
 		psize := packetHeaderBytes + len(p.Payload)
-		if i > start && size+psize > MTUBytes {
-			out = append(out, Serve{Packets: all[start:i:i]})
-			start = i
+		if len(batch) > 0 && size+psize > MTUBytes {
+			//lint:pooled dst is the caller's reusable batch scratch
+			dst = append(dst, Serve{Packets: batch})
+			arr = servePool.Get().(*[maxPacketsPerServe]*stream.Packet)
+			batch = arr[:0]
 			size = headerBytes
 		}
+		//lint:pooled batch is a pooled fixed-capacity backing; the MTU split bounds len at maxPacketsPerServe
+		batch = append(batch, p)
 		size += psize
 	}
-	return append(out, Serve{Packets: all[start:]})
+	//lint:pooled dst is the caller's reusable batch scratch
+	return append(dst, Serve{Packets: batch})
+}
+
+// SplitServe is SplitServeInto without a reusable destination, for callers
+// that split rarely enough not to care.
+func SplitServe(packets []*stream.Packet) []Serve {
+	return SplitServeInto(nil, packets)
+}
+
+// RecycleServe returns s's Packets backing to the pool. Only messages
+// produced by SplitServeInto are recycled (recognized by the pool's fixed
+// backing capacity); anything else is ignored, so drop paths can recycle
+// unconditionally. The packets themselves are untouched — retaining
+// *stream.Packet pointers past the recycle is fine, retaining the slice
+// is not.
+func RecycleServe(s Serve) {
+	if cap(s.Packets) != maxPacketsPerServe {
+		return
+	}
+	arr := (*[maxPacketsPerServe]*stream.Packet)(s.Packets[:maxPacketsPerServe])
+	clear(arr[:]) // drop packet references so pooled capacity does not pin payloads
+	servePool.Put(arr)
 }

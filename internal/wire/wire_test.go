@@ -260,6 +260,58 @@ func TestSplitServeEmpty(t *testing.T) {
 	if got := SplitServe(nil); got != nil {
 		t.Fatalf("SplitServe(nil) = %v, want nil", got)
 	}
+	if got := SplitServeInto(nil, nil); got != nil {
+		t.Fatalf("SplitServeInto(nil, nil) = %v, want nil", got)
+	}
+}
+
+// TestSplitServeIntoReusesDst checks the destination contract: existing
+// entries are preserved, and a recycled [:0] scratch grows in place.
+func TestSplitServeIntoReusesDst(t *testing.T) {
+	var packets []*stream.Packet
+	for i := 0; i < 5; i++ {
+		packets = append(packets, &stream.Packet{ID: stream.PacketID(i), Payload: make([]byte, 600)})
+	}
+	sentinel := Serve{Packets: []*stream.Packet{{ID: 99}}}
+	out := SplitServeInto([]Serve{sentinel}, packets)
+	if len(out) != 4 || len(out[0].Packets) != 1 || out[0].Packets[0].ID != 99 {
+		t.Fatalf("dst prefix not preserved: %d serves", len(out))
+	}
+	total := 0
+	for _, s := range out[1:] {
+		total += len(s.Packets)
+	}
+	if total != len(packets) {
+		t.Fatalf("split serves carry %d packets, want %d", total, len(packets))
+	}
+}
+
+// TestSplitServeIntoPooledBackings checks the ownership protocol: every
+// batch gets the pool's fixed-capacity backing (so RecycleServe can
+// recognize it), the packet bound is exact at minimum packet size, and
+// recycling foreign or already-degenerate slices is a safe no-op.
+func TestSplitServeIntoPooledBackings(t *testing.T) {
+	// Empty payloads hit the worst-case packet count per message.
+	var packets []*stream.Packet
+	for i := 0; i < 3*maxPacketsPerServe; i++ {
+		packets = append(packets, &stream.Packet{ID: stream.PacketID(i)})
+	}
+	out := SplitServeInto(nil, packets)
+	if len(out) != 3 {
+		t.Fatalf("got %d serves, want 3 full ones", len(out))
+	}
+	for i, s := range out {
+		if len(s.Packets) != maxPacketsPerServe {
+			t.Fatalf("serve %d carries %d packets, want %d", i, len(s.Packets), maxPacketsPerServe)
+		}
+		if cap(s.Packets) != maxPacketsPerServe {
+			t.Fatalf("serve %d backing capacity %d escaped the pool bound %d", i, cap(s.Packets), maxPacketsPerServe)
+		}
+		RecycleServe(s)
+	}
+	// Foreign backings (not pool-sized) are ignored, including empty ones.
+	RecycleServe(Serve{})
+	RecycleServe(Serve{Packets: packets[:2:2]})
 }
 
 // Property: encode/decode round-trips arbitrary id lists exactly, and the
