@@ -63,6 +63,11 @@ type Report struct {
 	// end-to-end single-shard runs and, with an events/s throughput ratio,
 	// the pure scheduler microbench.
 	QueueAblation map[string]map[string]float64 `json:"megasim_queue_ablation,omitempty"`
+	// ArenaRecycling records, per "...Churn" arena scenario, the end-of-run
+	// live heap against its "...Baseline" (churn-free) twin alongside the
+	// incarnation and arena-slot counts: the proof that slot recycling
+	// holds engine memory at O(live nodes) while total joins grow.
+	ArenaRecycling map[string]map[string]float64 `json:"megasim_arena_recycling,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -188,6 +193,7 @@ func run(simBench, kernelBench, kernelTime, queueBench, queueTime, queuePkg, pkg
 	rep.PoissonChurn = poissonChurn(rep.Results)
 	rep.StreamingMemory = streamingMemory(rep.Results)
 	rep.QueueAblation = queueAblation(rep.Results)
+	rep.ArenaRecycling = arenaRecycling(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -320,6 +326,55 @@ func queueAblation(results []Result) map[string]map[string]float64 {
 			pair["events_per_sec_ratio"] = ce / he
 		}
 		out[name] = pair
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// arenaRecycling pairs each arena-recycling churn scenario ("...Churn")
+// with its churn-free twin ("...Baseline") and records both live-heap
+// figures, their ratio, and the join/arena-slot counts: under slot
+// recycling the churned run's arena holds the live population (slots ≈
+// baseline's) while joins run into the millions, so live_ratio stays
+// near 1 instead of growing with every join.
+func arenaRecycling(results []Result) map[string]map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	out := map[string]map[string]float64{}
+	for name, c := range byName {
+		if !strings.Contains(name, "ArenaRecycling") {
+			continue
+		}
+		base, ok := strings.CutSuffix(name, "Churn")
+		if !ok {
+			continue
+		}
+		bl, ok := byName[base+"Baseline"]
+		if !ok {
+			continue
+		}
+		pair := map[string]float64{}
+		if bm, cm := bl.Metrics["live-MB"], c.Metrics["live-MB"]; bm > 0 && cm > 0 {
+			pair["baseline_live_mb"] = bm
+			pair["churn_live_mb"] = cm
+			pair["live_ratio"] = cm / bm
+		}
+		if j := c.Metrics["joins"]; j > 0 {
+			pair["churn_joins"] = j
+		}
+		if s := c.Metrics["arena-slots"]; s > 0 {
+			pair["churn_arena_slots"] = s
+		}
+		if bl.NsPerOp > 0 {
+			pair["wall_ratio"] = c.NsPerOp / bl.NsPerOp
+		}
+		if len(pair) > 0 {
+			out[name] = pair
+		}
 	}
 	if len(out) == 0 {
 		return nil

@@ -256,7 +256,12 @@ func (c Config) effectivePSS() pss.Config {
 	return c.PSS
 }
 
-// NodeResult captures one node's outcome.
+// NodeResult captures one node's outcome. On the sharded engine a
+// departed node's result is captured at its crash barrier — its receiver
+// and sent counters are final there — so Stats carries the dead drops
+// accrued up to the crash; traffic that dead-drops against the node
+// afterwards still appears in Result.TotalTraffic, which is conserved
+// across slot recycling.
 type NodeResult struct {
 	ID       wire.NodeID
 	Survived bool
@@ -286,9 +291,14 @@ type NodeResult struct {
 type Result struct {
 	Config   Config
 	Duration time.Duration // simulated time executed
-	// Nodes holds one entry per non-source node, indexed by id-1. Empty
-	// under Config.StreamingMetrics — Streaming carries the folded
-	// scoring state instead.
+	// Nodes holds one entry per non-source node ever present. On the
+	// classic kernel entries are in id order (index id-1). On the sharded
+	// engine they are in lifetime-close order — departed nodes first, in
+	// crash order, then survivors in arena-slot order — the same order
+	// streaming scoring folds in, so the two modes' float reductions
+	// agree bit for bit; match entries by ID, not position. Empty under
+	// Config.StreamingMetrics — Streaming carries the folded scoring
+	// state instead.
 	Nodes []NodeResult
 	// SourceCounters and SourceStats describe node 0, the stream source
 	// (its quality is trivially perfect and therefore not in Nodes).
@@ -482,11 +492,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	left := make([]time.Duration, cfg.Nodes)
+	stopPeer := func(id wire.NodeID) { peers[id].Stop() }
 	churnRng := xrand.New(cfg.Seed + 7919)
 	for _, ev := range cfg.Churn {
 		ev := ev
 		sched.At(ev.At, func() {
-			crashBurst(net, peers, stopSampler, func(id wire.NodeID) { left[id] = ev.At }, ev, churnRng)
+			crashBurst(net, aliveNonSource(net, peers), stopPeer, stopSampler, func(id wire.NodeID) { left[id] = ev.At }, ev, churnRng)
 		})
 	}
 
@@ -532,13 +543,15 @@ func aliveNonSource(eng substrate, peers []*core.Peer) []wire.NodeID {
 }
 
 // crashNode executes one ungraceful departure: the victim is silenced in
-// the network, its protocol state stopped, its membership record (via
-// stopSampler, which may be nil) stopped, and the departure recorded (via
-// onCrash, which may be nil). Bursts and sustained leaves share it so
-// crash semantics cannot diverge between churn shapes.
-func crashNode(eng substrate, peers []*core.Peer, stopSampler, onCrash func(wire.NodeID), victim wire.NodeID) {
+// the network, its protocol state stopped (via stopPeer — the caller owns
+// the id-to-peer mapping, dense ids on the classic engine, slot-indexed
+// handles on the sharded one), its membership record (via stopSampler,
+// which may be nil) stopped, and the departure recorded (via onCrash,
+// which may be nil). Bursts and sustained leaves share it so crash
+// semantics cannot diverge between churn shapes.
+func crashNode(eng substrate, stopPeer func(wire.NodeID), stopSampler, onCrash func(wire.NodeID), victim wire.NodeID) {
 	eng.Crash(victim)
-	peers[victim].Stop()
+	stopPeer(victim)
 	if stopSampler != nil {
 		stopSampler(victim)
 	}
@@ -547,11 +560,12 @@ func crashNode(eng substrate, peers []*core.Peer, stopSampler, onCrash func(wire
 	}
 }
 
-// crashBurst executes one churn event: victims are picked from the
-// non-source nodes still alive and depart ungracefully.
-func crashBurst(eng substrate, peers []*core.Peer, stopSampler, onCrash func(wire.NodeID), ev churn.Event, rng *rand.Rand) {
-	for _, victim := range churn.Pick(aliveNonSource(eng, peers), ev.Fraction, rng) {
-		crashNode(eng, peers, stopSampler, onCrash, victim)
+// crashBurst executes one churn event: victims are picked from the given
+// pool — the non-source nodes alive at burst time — and depart
+// ungracefully.
+func crashBurst(eng substrate, eligible []wire.NodeID, stopPeer func(wire.NodeID), stopSampler, onCrash func(wire.NodeID), ev churn.Event, rng *rand.Rand) {
+	for _, victim := range churn.Pick(eligible, ev.Fraction, rng) {
+		crashNode(eng, stopPeer, stopSampler, onCrash, victim)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"gossipstream/internal/churn"
 	"gossipstream/internal/core"
 	"gossipstream/internal/megasim"
+	"gossipstream/internal/metrics"
 	"gossipstream/internal/member"
 	"gossipstream/internal/pss"
 	"gossipstream/internal/stream"
@@ -67,9 +68,10 @@ func runSharded(cfg Config) (*Result, error) {
 		cfg:    cfg,
 		eng:    eng,
 		pssCfg: pssCfg,
+		end:    end,
 		peers:  make([]*core.Peer, cfg.Nodes),
+		ids:    make([]wire.NodeID, cfg.Nodes),
 		joined: make([]time.Duration, cfg.Nodes),
-		left:   make([]time.Duration, cfg.Nodes),
 	}
 	if cfg.StreamingMetrics {
 		d.fold = newStreamFold(cfg, end)
@@ -92,6 +94,7 @@ func runSharded(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		d.peers[i] = p
+		d.ids[i] = id
 		if d.states != nil {
 			d.states[i] = st
 		}
@@ -110,7 +113,7 @@ func runSharded(cfg Config) (*Result, error) {
 	for _, ev := range cfg.Churn {
 		ev := ev
 		eng.AtBarrier(ev.At, func() {
-			crashBurst(eng, d.peers, d.stopSampler, d.noteCrash(ev.At), ev, churnRng)
+			crashBurst(eng, d.aliveVictims(), d.stopPeer, d.stopSampler, d.noteCrash(ev.At), ev, churnRng)
 		})
 	}
 
@@ -130,7 +133,7 @@ func runSharded(cfg Config) (*Result, error) {
 				eng.AtBarrier(tev.At, func() { d.leave(tev.At, procRng) })
 			case churn.OpBurst:
 				eng.AtBarrier(tev.At, func() {
-					crashBurst(eng, d.peers, d.stopSampler, d.noteCrash(tev.At), churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
+					crashBurst(eng, d.aliveVictims(), d.stopPeer, d.stopSampler, d.noteCrash(tev.At), churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
 				})
 			default:
 				return nil, fmt.Errorf("experiment: unknown churn op %v", tev.Op)
@@ -171,7 +174,7 @@ func runSharded(cfg Config) (*Result, error) {
 	if d.fold != nil {
 		res = d.collectStreaming(end)
 	} else {
-		res = collectResult(cfg, end, eng, d.peers, eng.Fired(), d.joined, d.left)
+		res = d.collectBatch(end)
 	}
 	res.ShardLoads = eng.ShardLoads()
 	res.TotalTraffic = eng.TotalStats()
@@ -185,8 +188,10 @@ func runSharded(cfg Config) (*Result, error) {
 
 // inDegreeHist measures the final Cyclon overlay: for every node still
 // live at run end, the number of live views holding its descriptor. Runs
-// once after the engine stops (all shards quiescent), iterating node ids
-// in ascending order, so the histogram is deterministic.
+// once after the engine stops (all shards quiescent), iterating arena
+// slots in ascending order, so the histogram is deterministic. A stale
+// descriptor — same slot, older generation — never counts toward the
+// slot's current occupant.
 func (d *deployment) inDegreeHist() telemetry.Hist {
 	indeg := make([]int64, len(d.states))
 	for _, st := range d.states {
@@ -194,84 +199,133 @@ func (d *deployment) inDegreeHist() telemetry.Hist {
 			continue
 		}
 		for _, e := range st.View() {
-			if int(e.ID) < len(indeg) {
-				indeg[e.ID]++
+			slot := megasim.Slot(e.ID)
+			if slot < len(indeg) && d.states[slot] != nil && d.ids[slot] == e.ID {
+				indeg[slot]++
 			}
 		}
 	}
 	var h telemetry.Hist
-	for i, st := range d.states {
+	for slot, st := range d.states {
 		if st == nil || st.Stopped() {
 			continue
 		}
-		h.Observe(indeg[i])
+		h.Observe(indeg[slot])
 	}
 	return h
 }
 
-// deployment is the mutable state of one sharded run: the per-node slices
-// grow when the churn process admits nodes at barriers.
+// deployment is the mutable state of one sharded run. The per-node slices
+// are indexed by arena slot and mirror the engine's slot recycling: a
+// departed node's entries are nilled at its crash barrier and a runtime
+// admission (which may reuse the slot under a new handle) overwrites
+// them, so deployment memory is O(live nodes) alongside the engine's.
 type deployment struct {
 	cfg    Config
 	eng    *megasim.Engine
 	pssCfg pss.Config
+	end    time.Duration
 	peers  []*core.Peer
-	states []*pss.State // nil under MembershipFull
-	joined []time.Duration
-	left   []time.Duration
-	fold   *streamFold          // non-nil under Config.StreamingMetrics
-	snaps  []telemetry.Snapshot // progress snapshots (Config.Telemetry)
-	err    error                // first admission failure, surfaced after Run
+	states []*pss.State    // nil under MembershipFull
+	ids    []wire.NodeID   // full handle of each slot's live occupant
+	joined []time.Duration // admission barrier time; 0 for setup nodes
+	// departed collects batch-mode NodeResults at crash barriers, in crash
+	// order (the batch fold order streaming scoring mirrors). Nil under
+	// StreamingMetrics, where the fold replaces retained results.
+	departed      []NodeResult
+	departedCount int
+	joinedCount   int
+	fold          *streamFold          // non-nil under Config.StreamingMetrics
+	snaps         []telemetry.Snapshot // progress snapshots (Config.Telemetry)
+	err           error                // first admission failure, surfaced after Run
 }
 
 // noteCrash returns the onCrash callback for a departure at the given
-// barrier time. Besides recording the lifetime, under StreamingMetrics it
-// folds the victim's scoring state — final, because a dead node's receiver
-// and sent-byte counters never change again — and then releases the whole
-// node (peer, membership record, engine arena slot). That release is the
-// memory unlock: a departed node costs nothing for the rest of the run.
+// barrier time. The victim's scoring state is captured now — final,
+// because a dead node's receiver and sent-byte counters never change
+// again — as a streaming fold or a retained NodeResult, and then the
+// whole node is released: peer, membership record, and the engine arena
+// slot, which re-enters service after its quarantine. Both scoring modes
+// release identically, so a batch twin and a streaming twin recycle the
+// same slots at the same barriers and stay bit-identical runs.
 func (d *deployment) noteCrash(at time.Duration) func(wire.NodeID) {
 	return func(id wire.NodeID) {
-		d.left[id] = at
-		if d.fold == nil {
-			return
+		slot := megasim.Slot(id)
+		d.departedCount++
+		if d.fold != nil {
+			d.fold.fold(d.joined[slot], at, false, d.peers[slot], d.eng.NodeStats(id))
+		} else {
+			d.departed = append(d.departed, d.nodeResult(id, slot, at, false))
 		}
-		d.fold.fold(id, d.joined[id], at, false, d.peers[id], d.eng.NodeStats(id))
-		d.peers[id] = nil
+		d.peers[slot] = nil
 		if d.states != nil {
-			d.states[id] = nil
+			d.states[slot] = nil
 		}
 		d.eng.Release(id)
 	}
 }
 
+// nodeResult captures one node's batch-mode outcome. Called at the
+// node's crash barrier or at run end for survivors; either way the
+// receiver and counters are final.
+func (d *deployment) nodeResult(id wire.NodeID, slot int, leftAt time.Duration, survived bool) NodeResult {
+	stats := d.eng.NodeStats(id)
+	return NodeResult{
+		ID:            id,
+		Survived:      survived,
+		JoinedAt:      d.joined[slot],
+		LeftAt:        leftAt,
+		Quality:       metrics.Evaluate(d.peers[slot].Receiver(), d.cfg.Layout),
+		UploadKbps:    float64(stats.TotalSentBytes()) * 8 / d.end.Seconds() / 1000,
+		BaseLatencyMS: float64(d.eng.BaseLatency(id)) / float64(time.Millisecond),
+		Counters:      d.peers[slot].Counters(),
+		Stats:         stats,
+	}
+}
+
+// collectBatch assembles the retained-results Result of a sharded run:
+// departed nodes in crash order (captured at their barriers), then
+// survivors in ascending slot order. Streaming scoring folds in exactly
+// this order, which is what keeps the two modes' float sums — and so
+// their figure columns — bit-identical.
+func (d *deployment) collectBatch(end time.Duration) *Result {
+	res := &Result{
+		Config:         d.cfg,
+		Duration:       end,
+		SourceCounters: d.peers[0].Counters(),
+		SourceStats:    d.eng.NodeStats(0),
+		Events:         d.eng.Fired(),
+	}
+	res.Nodes = make([]NodeResult, 0, d.eng.Added()-1)
+	res.Nodes = append(res.Nodes, d.departed...)
+	for slot := 1; slot < len(d.peers); slot++ {
+		if d.peers[slot] == nil {
+			continue
+		}
+		res.Nodes = append(res.Nodes, d.nodeResult(d.ids[slot], slot, end, true))
+	}
+	return res
+}
+
 // collectStreaming assembles a StreamingMetrics Result: survivors are
-// folded now (departed nodes were folded at their crash barriers), then
-// every accumulator is reduced in ascending node-id order — the batch
-// path's reduction order, which MeanCompleteFraction's float sum depends
-// on. Result.Nodes stays empty by design.
+// folded now in ascending slot order (departed nodes were folded at
+// their crash barriers), completing the same fold order collectBatch
+// materializes. Result.Nodes stays empty by design.
 func (d *deployment) collectStreaming(end time.Duration) *Result {
 	f := d.fold
-	for i := 1; i < len(d.peers); i++ {
-		if d.peers[i] == nil {
+	for slot := 1; slot < len(d.peers); slot++ {
+		if d.peers[slot] == nil {
 			continue // departed: folded at its crash barrier
 		}
-		id := wire.NodeID(i)
-		f.fold(id, d.joined[i], end, true, d.peers[i], d.eng.NodeStats(id))
+		f.fold(d.joined[slot], end, true, d.peers[slot], d.eng.NodeStats(d.ids[slot]))
 	}
-	f.ensure(len(d.peers))
-	s := &StreamingResult{Upload: f.upload}
-	for i := 1; i < len(d.peers); i++ {
-		s.Nodes++
-		if d.joined[i] > 0 {
-			s.Joined++
-		}
-		if f.survived[i] {
-			s.Survivors.Add(f.full[i])
-		} else {
-			s.Departed++
-		}
-		s.Present.Add(f.present[i])
+	s := &StreamingResult{
+		Survivors: f.survivors,
+		Present:   f.present,
+		Nodes:     d.eng.Added() - 1,
+		Joined:    d.joinedCount,
+		Departed:  d.departedCount,
+		Upload:    f.upload,
 	}
 	return &Result{
 		Config:         d.cfg,
@@ -283,12 +337,31 @@ func (d *deployment) collectStreaming(end time.Duration) *Result {
 	}
 }
 
+// stopPeer stops the protocol state of a crashing node.
+func (d *deployment) stopPeer(id wire.NodeID) {
+	d.peers[megasim.Slot(id)].Stop()
+}
+
 // stopSampler silences a crashed or departed node's membership record; a
 // no-op under static membership.
 func (d *deployment) stopSampler(id wire.NodeID) {
 	if d.states != nil {
-		d.states[id].Stop()
+		d.states[megasim.Slot(id)].Stop()
 	}
+}
+
+// aliveVictims returns the non-source nodes currently alive — the victim
+// pool of every churn shape on the sharded path. Slots are scanned in
+// ascending order, so the pool (and any rng.Intn pick from it) is
+// deterministic.
+func (d *deployment) aliveVictims() []wire.NodeID {
+	var eligible []wire.NodeID
+	for slot := 1; slot < len(d.peers); slot++ {
+		if d.peers[slot] != nil && d.eng.Alive(d.ids[slot]) {
+			eligible = append(eligible, d.ids[slot])
+		}
+	}
+	return eligible
 }
 
 // buildNode constructs and registers one node on the engine — the single
@@ -324,7 +397,7 @@ func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.S
 	if err != nil {
 		return nil, nil, err
 	}
-	if got := d.eng.AddNode(p, nodeCap(cfg, int(id)), cfg.QueueBytes); got != id {
+	if got := d.eng.AddNode(p, nodeCap(cfg, megasim.Slot(id)), cfg.QueueBytes); got != id {
 		return nil, nil, fmt.Errorf("experiment: node id drift: got %d, want %d", got, id)
 	}
 	if st != nil {
@@ -333,26 +406,36 @@ func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.S
 	return p, st, nil
 }
 
-// admit runs inside a join barrier: it grows the engine's node arena by one
-// peer whose Cyclon view is bootstrapped from descriptors of currently
-// live nodes, attaches its membership record, and starts its protocol
-// clock. Everything draws from deterministic streams keyed by the dense
-// node id, so replays admit identical nodes.
+// admit runs inside a join barrier: it registers one new peer — on the
+// oldest recyclable arena slot when the engine has one, a fresh slot
+// otherwise — whose Cyclon view is bootstrapped from descriptors of
+// currently live nodes, attaches its membership record, and starts its
+// protocol clock. PeekNextID names the handle before construction (node
+// RNG streams are keyed by it), and the engine's recycling order is
+// deterministic, so replays admit identical nodes onto identical slots.
 func (d *deployment) admit(at time.Duration, rng *rand.Rand) {
 	if d.err != nil {
 		return
 	}
-	id := wire.NodeID(d.eng.N())
+	id := d.eng.PeekNextID()
 	boot := d.liveBootstrapIDs(id, d.pssCfg.ShuffleLen, rng)
 	p, st, err := d.buildNode(id, boot, nil)
 	if err != nil {
 		d.err = fmt.Errorf("experiment: admitting node %d: %w", id, err)
 		return
 	}
-	d.peers = append(d.peers, p)
-	d.states = append(d.states, st)
-	d.joined = append(d.joined, at)
-	d.left = append(d.left, 0)
+	slot := megasim.Slot(id)
+	if slot == len(d.peers) {
+		d.peers = append(d.peers, nil)
+		d.ids = append(d.ids, 0)
+		d.joined = append(d.joined, 0)
+		d.states = append(d.states, nil)
+	}
+	d.peers[slot] = p
+	d.ids[slot] = id
+	d.joined[slot] = at
+	d.states[slot] = st
+	d.joinedCount++
 	p.Start()
 }
 
@@ -360,22 +443,25 @@ func (d *deployment) admit(at time.Duration, rng *rand.Rand) {
 // node departs ungracefully — the crash path, exactly like a burst victim.
 // With nobody left to remove, the event is a no-op.
 func (d *deployment) leave(at time.Duration, rng *rand.Rand) {
-	eligible := aliveNonSource(d.eng, d.peers)
+	eligible := d.aliveVictims()
 	if len(eligible) == 0 {
 		return
 	}
 	victim := eligible[rng.Intn(len(eligible))]
-	crashNode(d.eng, d.peers, d.stopSampler, d.noteCrash(at), victim)
+	crashNode(d.eng, d.stopPeer, d.stopSampler, d.noteCrash(at), victim)
 }
 
 // liveBootstrapIDs samples up to k distinct live nodes (excluding self) to
 // seed a joining node's view — the runtime analogue of bootstrapIDs, which
-// can assume every id in [0, n) exists. Scanning the arena keeps the draw
+// can assume every id in [0, n) exists. Scanning the slots keeps the draw
 // count deterministic regardless of how much of the population is dead.
 func (d *deployment) liveBootstrapIDs(self wire.NodeID, k int, rng *rand.Rand) []wire.NodeID {
-	alive := make([]wire.NodeID, 0, d.eng.N())
-	for i := 0; i < d.eng.N(); i++ {
-		if id := wire.NodeID(i); id != self && d.eng.Alive(id) {
+	alive := make([]wire.NodeID, 0, len(d.peers))
+	for slot := 0; slot < len(d.peers); slot++ {
+		if d.peers[slot] == nil {
+			continue
+		}
+		if id := d.ids[slot]; id != self && d.eng.Alive(id) {
 			alive = append(alive, id)
 		}
 	}

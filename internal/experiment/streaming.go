@@ -9,7 +9,6 @@ import (
 	"gossipstream/internal/simnet"
 	"gossipstream/internal/stream"
 	"gossipstream/internal/telemetry"
-	"gossipstream/internal/wire"
 )
 
 // streamFold accumulates the streaming scoring state of one sharded run.
@@ -18,19 +17,20 @@ import (
 // can no longer change: a crashed node stops sending, and everything
 // addressed to it dead-drops, so the fold at crash time reads the same
 // window lags a batch run would read from the retained receiver at the
-// end. That is what makes the early release of departed nodes safe and
-// the derived scores bit-identical to the batch path.
+// end. Accumulators go straight into the QualitySets (no per-node state
+// survives the fold, so memory is O(1) per closed lifetime even when
+// arena slots — and therefore node ids — are recycled under churn), in
+// lifetime-close order: departures in crash order, then survivors in
+// slot order. collectBatch materializes Result.Nodes in exactly that
+// order, which is what keeps the two modes' float sums bit-identical.
 type streamFold struct {
 	layout     stream.Layout
 	endSeconds float64
 	grace      time.Duration
 
-	// Dense by node id; source slot 0 stays zero.
-	full     []telemetry.LagAccum
-	present  []telemetry.LagAccum
-	survived []bool
-	folded   []bool
-	upload   telemetry.Hist
+	survivors telemetry.QualitySet
+	present   telemetry.QualitySet
+	upload    telemetry.Hist
 }
 
 func newStreamFold(cfg Config, end time.Duration) *streamFold {
@@ -41,25 +41,10 @@ func newStreamFold(cfg Config, end time.Duration) *streamFold {
 	}
 }
 
-func (f *streamFold) ensure(n int) {
-	for len(f.full) < n {
-		f.full = append(f.full, telemetry.LagAccum{})
-		f.present = append(f.present, telemetry.LagAccum{})
-		f.survived = append(f.survived, false)
-		f.folded = append(f.folded, false)
-	}
-}
-
 // fold closes one node's lifetime. The window loops mirror
 // metrics.Evaluate and Result.LifetimeQualities expression for
 // expression, replacing the retained lag slices with flat accumulators.
-func (f *streamFold) fold(id wire.NodeID, joinedAt, leftAt time.Duration, survived bool, p *core.Peer, stats simnet.Stats) {
-	f.ensure(int(id) + 1)
-	if f.folded[id] {
-		return
-	}
-	f.folded[id] = true
-	f.survived[id] = survived
+func (f *streamFold) fold(joinedAt, leftAt time.Duration, survived bool, p *core.Peer, stats simnet.Stats) {
 	recv := p.Receiver()
 	if survived {
 		// Full-stream accumulator: only survivors are scored on it
@@ -72,11 +57,11 @@ func (f *streamFold) fold(id wire.NodeID, joinedAt, leftAt time.Duration, surviv
 			}
 			full.Observe(lag)
 		}
-		f.full[id] = full
+		f.survivors.Add(full)
 	}
 	// Lifetime-masked accumulator: Result.LifetimeQualities' window
-	// eligibility, verbatim. Folded for every run shape — it is 60 flat
-	// bytes per node, and Present* queries are valid on burst runs too.
+	// eligibility, verbatim. Folded for every run shape — Present*
+	// queries are valid on burst runs too.
 	lastEnd := leftAt
 	if !survived {
 		lastEnd -= f.grace
@@ -97,7 +82,7 @@ func (f *streamFold) fold(id wire.NodeID, joinedAt, leftAt time.Duration, surviv
 		}
 		m.Observe(lag)
 	}
-	f.present[id] = m
+	f.present.Add(m)
 	// NodeResult.UploadKbps' expression; sent bytes are frozen from the
 	// crash on, so folding early loses nothing.
 	f.upload.Observe(int64(math.Round(float64(stats.TotalSentBytes()) * 8 / f.endSeconds / 1000)))

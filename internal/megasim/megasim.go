@@ -54,20 +54,37 @@
 // barriers exactly like streaming messages, so runs with membership
 // enabled keep the bit-identical fixed-(seed, shards) guarantee.
 //
-// # Runtime admission
+// # Runtime admission and slot recycling
 //
 // Topology is not fixed at Run: AtBarrier callbacks may admit nodes while
 // the simulation is in flight (AddNode, then AttachSampler and Start-ing
 // node logic), which is what sustained join/leave churn needs — a joining
 // node bootstraps from live descriptors and converges through the same
 // shuffle traffic as everyone else. Admission happens with every shard
-// quiescent: the node-state arena grows, the new node lands on its
-// round-robin shard, its first events are scheduled at the barrier time
-// plus de-phasing offsets, and a runtime-drawn base latency is clamped so
-// the lookahead fixed at Run stays a valid bound. Departures are just
-// Crash: the tick chain ends, descriptors elsewhere age out. Because
-// admission runs at barriers in schedule order and draws from the setup
-// streams, runs with runtime churn keep full replay determinism.
+// quiescent: the new node lands on its slot's round-robin shard, its
+// first events are scheduled at the barrier time plus de-phasing offsets,
+// and a runtime-drawn base latency is clamped so the lookahead fixed at
+// Run stays a valid bound. Departures are Crash (the tick chain ends,
+// descriptors elsewhere age out) followed, once the experiment has folded
+// the node's metrics, by Release, which queues the arena slot for reuse.
+// Because admission, crashes, and releases all run at barriers in
+// schedule order and draw from the setup streams, runs with runtime churn
+// keep full replay determinism.
+//
+// Engine memory is O(live nodes), not O(nodes ever): a released slot
+// waits out one lookahead window in a quarantine ring — after that no
+// in-flight event can still address the old incarnation without crossing
+// a barrier — then re-enters service through a FIFO free list. NodeID is
+// a generation-tagged handle (slot index + per-slot incarnation counter),
+// so any reference that survives its node — an in-flight delivery, an
+// outbox entry, a descriptor in a sampler's view, an experiment-side
+// index — fails the generation check instead of reaching the slot's new
+// occupant: deliveries to stale handles are counted (StaleDrops, folded
+// into TotalStats as dead traffic) or, under Config.PanicOnStale, panic.
+// Departed incarnations' traffic counters fold into a departed
+// accumulator at reuse and their base latencies move to a per-slot
+// prevBase side table (draining traffic keeps deterministic latencies),
+// so TotalStats conserves every counter across any amount of churn.
 package megasim
 
 import (
@@ -85,8 +102,41 @@ import (
 	"gossipstream/internal/wire"
 )
 
-// NodeID identifies a node. IDs are dense, starting at 0, in AddNode order.
+// NodeID identifies a node incarnation: a generation-tagged handle packing
+// an arena slot index (low slotBits bits) and the slot's generation counter
+// (the bits above). While no slot has ever been recycled — every run
+// without Release, and every run's setup phase — generations are all zero
+// and ids are dense integers starting at 0 in AddNode order, exactly as
+// before. Once Release returns slots to the free list, AddNode may mint a
+// handle for a recycled slot at the next generation: the slot bits repeat,
+// the generation bits differ, so any reference that outlives its node — an
+// in-flight delivery, an outbox entry, a descriptor in a sampler view, an
+// experiment-side index — is detectable (Slot matches, Gen does not)
+// instead of silently aliasing the slot's new occupant.
 type NodeID = wire.NodeID
+
+const (
+	// slotBits is the width of the arena-slot field in a NodeID: 2^21 ≈ 2M
+	// slots, the live-population ceiling. The 10 bits above it (bit 31
+	// stays clear — ids remain non-negative) count the slot's generation.
+	slotBits = 21
+	slotMask = 1<<slotBits - 1
+	// maxGen is the last mintable generation. A slot that reaches it
+	// retires permanently instead of re-entering the free list: it could
+	// no longer mint a handle distinguishable from a stale one.
+	maxGen = 1<<(31-slotBits) - 1
+)
+
+// Slot returns the arena slot index encoded in a node handle.
+func Slot(id NodeID) int { return int(uint32(id) & slotMask) }
+
+// Gen returns the incarnation counter encoded in a node handle.
+func Gen(id NodeID) int { return int(uint32(id) >> slotBits) }
+
+// makeID packs a slot index and generation into a handle.
+func makeID(slot int, gen uint16) NodeID {
+	return NodeID(uint32(slot) | uint32(gen)<<slotBits)
+}
 
 // Handler receives messages delivered to a node. It is structurally
 // identical to simnet.Handler so the same node logic drives both engines.
@@ -149,6 +199,13 @@ type Config struct {
 	// Queue selects the per-shard scheduler (QueueHeap default). Results
 	// are bit-identical across kinds; only wall time differs.
 	Queue QueueKind
+	// PanicOnStale turns stale-handle events — a delivery addressed to a
+	// departed incarnation whose slot was recycled, or a send from one —
+	// into panics instead of drops (deliveries counted in StaleDrops,
+	// sends dropped silently like a crashed sender's). Tests set it to
+	// prove detection; long churn runs leave it off, where draining
+	// traffic addressed to recycled slots is expected and merely counted.
+	PanicOnStale bool
 }
 
 // infTime is the maximum representable virtual time, used as "no event".
@@ -164,10 +221,33 @@ type nodeState struct {
 	tickEvery time.Duration
 	uplink    shaping.Shaper
 	base      time.Duration
-	alive     bool
+	// prevBase is the compact side table for draining traffic: the base
+	// latency of the slot's previous incarnation, set when the slot is
+	// recycled. pairLatency reads it for sends still addressed to a stale
+	// handle, keeping their delivery times deterministic and inside the
+	// lookahead bound without retaining departed nodes' slots. (A handle
+	// two or more generations old reads the most recently departed base —
+	// an approximation for traffic that is dead on arrival anyway.)
+	prevBase time.Duration
+	// gen is the slot's current generation; a handle resolves here only
+	// when its Gen matches. Incremented when the slot is recycled, so
+	// every handle a quarantined slot ever minted stays resolvable (and
+	// dead-drops normally) until reuse actually happens.
+	gen      uint16
+	alive    bool
+	released bool
 	// stats is written only by the node's own shard (sends from the node,
 	// deliveries to the node), never concurrently.
 	stats simnet.Stats
+}
+
+// quarEntry parks a released slot until reuse is provably safe: one full
+// lookahead window after the Release barrier, by when every delivery the
+// old incarnation could still be addressed by has executed or crossed a
+// barrier (where the generation check catches it).
+type quarEntry struct {
+	slot int32
+	at   time.Duration // engine time of the Release
 }
 
 type globalEvent struct {
@@ -202,6 +282,25 @@ type Engine struct {
 	// live counts alive nodes incrementally (AddNode/Crash), so progress
 	// snapshots need no O(n) scan.
 	live int
+	// added counts AddNode calls (incarnations ever), recycled the subset
+	// that reused a freed slot; N() — the arena size — is added minus
+	// recycled.
+	added    int
+	recycled int
+
+	// Slot recycling state, all touched only at quiescent points (setup,
+	// barrier callbacks): released slots queue in the quarantine ring in
+	// Release order, drain to the free list once their window expires, and
+	// AddNode consumes the free list FIFO — a deterministic recycling
+	// order for a deterministic schedule of Releases.
+	quar     []quarEntry
+	quarHead int
+	free     []int32
+	freeHead int
+	// departed accumulates the traffic counters of retired incarnations,
+	// folded out of a slot when it is recycled, so TotalStats stays
+	// complete across any amount of churn.
+	departed simnet.Stats
 
 	// Telemetry, all supervisor-side: wallNow is an injected wall-clock
 	// sampler (teleclock.Clock) read only between phases on the supervisor
@@ -252,12 +351,14 @@ func New(cfg Config) (*Engine, error) {
 // AddNode registers a node with the given upload cap (bits per second;
 // shaping.Unlimited for none) and uplink queue bound in bytes, drawing its
 // base latency from the configured distribution. Nodes are assigned to
-// shards round-robin by id.
+// shards round-robin by arena slot, so a recycled slot's new incarnation
+// runs on the same shard as its predecessor.
 //
 // AddNode is legal during setup and — runtime admission, the substrate of
 // sustained-churn experiments — inside an AtBarrier callback, where every
-// shard is quiescent: the node-state arena may grow, the new node's id
-// extends the dense id space, and its first events (Start timers, sampler
+// shard is quiescent: the new node takes the oldest recyclable slot if the
+// free list has one (its handle carries the slot's next generation) and
+// extends the arena otherwise, and its first events (Start timers, sampler
 // ticks) are scheduled relative to the barrier time. A base latency drawn
 // at runtime is clamped from below so the engine's conservative lookahead,
 // fixed at Run from the setup population, stays a valid lower bound on
@@ -267,7 +368,6 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 		panic("megasim: nil handler")
 	}
 	e.checkMutable("AddNode")
-	id := NodeID(len(e.nodes))
 	base := e.cfg.Net.BaseLatencyMedian
 	if base <= 0 {
 		base = time.Millisecond
@@ -283,9 +383,95 @@ func (e *Engine) AddNode(h Handler, upBps, queueBytes int64) NodeID {
 	if upBps != shaping.Unlimited {
 		up = *shaping.NewShaper(upBps, queueBytes)
 	}
-	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
+	e.added++
 	e.live++
-	return id
+	if slot, ok := e.takeFree(); ok {
+		nd := &e.nodes[slot]
+		// The retired incarnation's counters fold into the departed
+		// accumulator (TotalStats stays complete — including dead drops
+		// that accrued during quarantine, after any experiment-side fold)
+		// and its base latency moves to the prevBase side table for
+		// traffic still addressed to its stale handles.
+		e.departed.Add(nd.stats)
+		gen := nd.gen + 1
+		*nd = nodeState{handler: h, uplink: up, base: base, prevBase: nd.base, gen: gen, alive: true}
+		e.recycled++
+		return makeID(slot, gen)
+	}
+	if len(e.nodes) > slotMask {
+		panic(fmt.Sprintf("megasim: arena full: %d slots in use (handle space holds %d); release departed nodes or raise slotBits", len(e.nodes), slotMask+1))
+	}
+	e.nodes = append(e.nodes, nodeState{handler: h, uplink: up, base: base, alive: true})
+	return NodeID(len(e.nodes) - 1)
+}
+
+// PeekNextID returns the handle the next AddNode will assign — the oldest
+// recyclable slot at its next generation, or a fresh arena append — without
+// consuming it. Callers that construct a node's environment or protocol
+// state (both seeded by id) before registering it use this to know the id
+// up front; the next AddNode is guaranteed to return the same handle.
+func (e *Engine) PeekNextID() NodeID {
+	e.drainQuarantine()
+	if e.freeHead < len(e.free) {
+		slot := e.free[e.freeHead]
+		return makeID(int(slot), e.nodes[slot].gen+1)
+	}
+	return NodeID(len(e.nodes))
+}
+
+// drainQuarantine moves slots whose quarantine expired — one full
+// lookahead window past their Release — onto the free list, in Release
+// order. A slot whose generation space is exhausted retires permanently
+// instead of re-entering the list (it could no longer mint a handle
+// distinguishable from a stale one); at 10 generation bits that leaks one
+// arena slot per 1023 reuses of the same slot, a bounded cost. Runs only
+// at quiescent points (AddNode, PeekNextID — setup or barrier callbacks),
+// where e.now is the barrier time every pending delivery is at or after.
+//
+// The ring reuses its backing: a full drain resets it, a partial one
+// compacts the un-expired tail to the front once the drained head passes
+// the midpoint (amortized O(1) per Release). Under steady churn there are
+// always fresh releases in the tail, so without the compaction the
+// backing would grow by one entry per departure forever — the arena would
+// be O(live nodes) but the quarantine ring O(total joins).
+func (e *Engine) drainQuarantine() {
+	for e.quarHead < len(e.quar) {
+		q := e.quar[e.quarHead]
+		if e.now < q.at+e.lookahead {
+			break
+		}
+		e.quarHead++
+		if e.nodes[q.slot].gen < maxGen {
+			//lint:pooled free-list capacity is reused in place (takeFree resets or compacts it)
+			e.free = append(e.free, q.slot)
+		}
+	}
+	if e.quarHead == len(e.quar) {
+		e.quar, e.quarHead = e.quar[:0], 0
+	} else if e.quarHead >= (len(e.quar)+1)/2 {
+		n := copy(e.quar, e.quar[e.quarHead:])
+		e.quar, e.quarHead = e.quar[:n], 0
+	}
+}
+
+// takeFree pops the oldest recyclable slot, if any. Like the quarantine
+// ring, the list reuses its backing: reset when exhausted, compacted to
+// the front once the consumed head passes the midpoint (a population that
+// shrinks faster than it readmits would otherwise grow the backing by one
+// entry per departure forever).
+func (e *Engine) takeFree() (int, bool) {
+	e.drainQuarantine()
+	if e.freeHead >= len(e.free) {
+		e.free, e.freeHead = e.free[:0], 0
+		return 0, false
+	}
+	slot := e.free[e.freeHead]
+	e.freeHead++
+	if e.freeHead >= (len(e.free)+1)/2 {
+		n := copy(e.free, e.free[e.freeHead:])
+		e.free, e.freeHead = e.free[:n], 0
+	}
+	return int(slot), true
 }
 
 // checkMutable panics unless the engine is in a state where topology may
@@ -323,23 +509,28 @@ func (e *Engine) AttachSampler(id NodeID, d member.DynamicSampler, period time.D
 		panic(fmt.Sprintf("megasim: sampler period %v", period))
 	}
 	e.checkMutable("AttachSampler")
-	nd := e.node(id)
+	nd := e.lookup("AttachSampler", id)
 	if nd.sampler != nil {
 		panic(fmt.Sprintf("megasim: node %d already has a sampler", id))
 	}
 	nd.sampler = d
 	nd.tickEvery = period
-	sh := e.shards[int(id)%len(e.shards)]
+	sh := e.shards[Slot(id)%len(e.shards)]
 	sh.pushMemberTick(e.now+time.Duration(e.tickRng.Int63n(int64(period))), id)
 }
 
 // memberTick runs one membership round for the node: dead nodes end their
 // tick chain (no cancellation handshake needed — exactly what makes
 // barrier-time churn safe), live ones may emit one shuffle and are
-// rescheduled one period out.
+// rescheduled one period out. A generation mismatch also ends the chain
+// silently: the tick belongs to a departed incarnation whose slot was
+// recycled, and letting it through would tick the new occupant's sampler
+// twice per period. This is the designed end of the chain, not a stale
+// event worth counting — ticks are scheduled a full period ahead, far
+// past the quarantine window.
 func (e *Engine) memberTick(sh *shard, id NodeID) {
-	nd := &e.nodes[id]
-	if !nd.alive || nd.sampler == nil {
+	nd := &e.nodes[uint32(id)&slotMask]
+	if int(nd.gen) != int(uint32(id)>>slotBits) || !nd.alive || nd.sampler == nil {
 		return
 	}
 	if em, ok := nd.sampler.Tick(); ok {
@@ -348,8 +539,29 @@ func (e *Engine) memberTick(sh *shard, id NodeID) {
 	sh.pushMemberTick(sh.now+nd.tickEvery, id)
 }
 
-// N returns the number of nodes ever added.
+// N returns the arena size: the high-water population of concurrently
+// tracked nodes, i.e. incarnations ever added (Added) minus slot reuses
+// (Recycled). While Release is never called this equals the number of
+// AddNode calls, as before.
 func (e *Engine) N() int { return len(e.nodes) }
+
+// Added returns the number of node incarnations ever registered.
+func (e *Engine) Added() int { return e.added }
+
+// Recycled returns how many AddNode calls reused a freed arena slot.
+func (e *Engine) Recycled() int { return e.recycled }
+
+// StaleDrops returns the number of deliveries addressed to a stale handle
+// — a departed incarnation whose slot was recycled before the message
+// arrived — summed across shards. These drops are the recycling-era
+// sibling of DeadDrops and are folded into TotalStats as such.
+func (e *Engine) StaleDrops() uint64 {
+	var t uint64
+	for _, s := range e.shards {
+		t += s.staleDrops
+	}
+	return t
+}
 
 // Shards returns the configured shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
@@ -363,12 +575,12 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Lookahead() time.Duration { return e.lookahead }
 
 // Alive reports whether the node is up.
-func (e *Engine) Alive(id NodeID) bool { return e.node(id).alive }
+func (e *Engine) Alive(id NodeID) bool { return e.lookup("Alive", id).alive }
 
 // Crash silences a node: it stops sending and receiving. Only legal during
 // setup or inside an AtBarrier callback (shards are quiescent there).
 func (e *Engine) Crash(id NodeID) {
-	nd := e.node(id)
+	nd := e.lookup("Crash", id)
 	if nd.alive {
 		nd.alive = false
 		e.live--
@@ -379,38 +591,58 @@ func (e *Engine) Crash(id NodeID) {
 func (e *Engine) Live() int { return e.live }
 
 // Release frees a crashed node's heavy state — handler, sampler, uplink
-// queue — so an experiment folding its metrics at the crash barrier can
-// let the node's protocol machinery be collected mid-run (the memory
-// unlock for long churn runs). The node keeps its drawn base latency
-// (pair latencies of in-flight traffic still read it) and its traffic
-// counters (NodeStats/TotalStats stay complete); every delivery and send
-// path checks alive before touching handler or sampler, so a released
-// node behaves exactly like a merely crashed one. Only legal during
-// setup or inside an AtBarrier callback.
+// queue — and queues its arena slot for recycling, making engine memory
+// O(live nodes) under sustained churn. The slot parks in a quarantine
+// ring for one full lookahead window (by then no in-flight event can
+// still be addressed to the old incarnation without crossing a barrier,
+// where the generation check catches it), then joins the free list;
+// AddNode consumes freed slots FIFO, bumping the generation so every
+// handle the old incarnation ever minted turns detectably stale. Until
+// the slot is actually reused the released node keeps its base latency
+// (pair latencies of draining traffic still read it) and its traffic
+// counters (NodeStats stays complete); at reuse the counters fold into
+// the engine-wide departed accumulator, so TotalStats is conserved
+// across any amount of churn. Only legal during setup or inside an
+// AtBarrier callback, and only for a crashed, not-yet-released node.
 func (e *Engine) Release(id NodeID) {
 	e.checkMutable("Release")
-	nd := e.node(id)
+	nd := e.lookup("Release", id)
 	if nd.alive {
 		panic(fmt.Sprintf("megasim: Release of live node %d", id))
 	}
+	if nd.released {
+		panic(fmt.Sprintf("megasim: Release of already released node %d", id))
+	}
+	nd.released = true
 	nd.handler = nil
 	nd.sampler = nil
 	nd.uplink = shaping.Shaper{}
+	//lint:pooled quarantine ring capacity is reused in place (drainQuarantine resets or compacts it)
+	e.quar = append(e.quar, quarEntry{slot: int32(Slot(id)), at: e.now})
 }
 
 // BaseLatency returns the node's drawn base latency.
-func (e *Engine) BaseLatency(id NodeID) time.Duration { return e.node(id).base }
+func (e *Engine) BaseLatency(id NodeID) time.Duration { return e.lookup("BaseLatency", id).base }
 
 // NodeStats returns a snapshot of the node's traffic counters. The
 // counters mirror simnet's, with one attribution difference: DeadDrops —
 // messages discarded because an endpoint crashed before delivery — are
 // counted on the receiving node (delivery is the only point where the
-// destination shard owns the check), not the sender.
-func (e *Engine) NodeStats(id NodeID) simnet.Stats { return e.node(id).stats }
+// destination shard owns the check), not the sender. The counters stay
+// readable after Crash and Release; they fold into TotalStats' departed
+// accumulator — and the handle turns stale — only when the slot is
+// actually reused by a later AddNode.
+func (e *Engine) NodeStats(id NodeID) simnet.Stats { return e.lookup("NodeStats", id).stats }
 
-// TotalStats aggregates every node's traffic counters.
+// TotalStats aggregates every incarnation's traffic counters: the
+// departed accumulator (retired incarnations whose slots were recycled),
+// plus every current slot, plus stale-handle drops — deliveries to
+// recycled slots, counted per shard because the old incarnation's
+// counters are already folded — as DeadDrops. Every sent message is
+// accounted for exactly once across any amount of churn.
 func (e *Engine) TotalStats() simnet.Stats {
-	var t simnet.Stats
+	t := e.departed
+	t.DeadDrops += e.StaleDrops()
 	for i := range e.nodes {
 		t.Add(e.nodes[i].stats)
 	}
@@ -452,6 +684,7 @@ func (e *Engine) ShardLoads() []telemetry.ShardLoad {
 			Pending:     s.q.len(),
 			OutboxOut:   s.outboxOut,
 			OutboxIn:    s.outboxIn,
+			StaleDrops:  s.staleDrops,
 		}
 	}
 	return out
@@ -515,11 +748,11 @@ func (e *Engine) AtBarrier(t time.Duration, fn func()) {
 // internal/core. rng is the node's private random stream; the caller
 // guarantees it is used by this node only.
 //
-// NodeEnv may be called before the node is added (ids are dense and
-// assigned in AddNode order), which lets node logic and its environment be
-// constructed together.
+// NodeEnv may be called before the node is added (PeekNextID names the
+// handle the next AddNode will assign), which lets node logic and its
+// environment be constructed together.
 func (e *Engine) NodeEnv(id NodeID, rng *rand.Rand) *NodeEnv {
-	return &NodeEnv{eng: e, sh: e.shards[int(id)%len(e.shards)], id: id, rng: rng}
+	return &NodeEnv{eng: e, sh: e.shards[Slot(id)%len(e.shards)], id: id, rng: rng}
 }
 
 // minBase returns the smallest drawn base latency across all nodes.
@@ -621,6 +854,19 @@ func (e *Engine) Run(until time.Duration) error {
 				e.wall.BarrierNS += e.wallNow() - tb
 			}
 			e.inBarrier = false
+			// Fold cross-shard sends the callbacks emitted straight into
+			// the destination queues. Every shard sits blocked on its
+			// command channel here, so the supervisor-side fold is ordered:
+			// the phase WaitGroup sequenced all prior shard writes before
+			// this point, and the next phase command sequences these writes
+			// before the workers' reads. Without the fold a barrier-emitted
+			// delivery stays invisible to the next-event scan — lost
+			// outright if no later window happens to run.
+			if parallel {
+				for _, s := range e.shards {
+					s.mergeInbound()
+				}
+			}
 			continue
 		}
 		if t0 >= horizon {
@@ -691,14 +937,49 @@ func (e *Engine) phase(op uint8, t time.Duration) {
 	e.phaseWg.Wait()
 }
 
+// noteStale records a stale-handle event observed on a shard's hot path:
+// panic under Config.PanicOnStale (tests proving detection), else a flat
+// per-shard counter (long churn runs, where draining traffic addressed to
+// recycled slots is expected).
+func (e *Engine) noteStale(sh *shard, op string, id NodeID) {
+	if e.cfg.PanicOnStale {
+		panic(e.staleMsg(op, id))
+	}
+	sh.staleDrops++
+}
+
+// staleMsg formats the uniform stale-handle panic/diagnostic message.
+func (e *Engine) staleMsg(op string, id NodeID) string {
+	return fmt.Sprintf("megasim: %s: stale handle %d (slot %d is at generation %d, handle carries %d): the node departed and its slot was recycled", op, id, Slot(id), e.nodes[uint32(id)&slotMask].gen, Gen(id))
+}
+
 // send transmits msg with the same UDP semantics as simnet.Send: drop-tail
 // congestion at the sender's shaped uplink, Bernoulli loss, crash
-// silences. It executes on the sending node's shard.
+// silences. It executes on the sending node's shard. A send from a stale
+// handle — node logic that outlived its slot's recycling — drops silently
+// exactly like a send from a crashed node (it was never counted sent, so
+// conservation holds), but panics under PanicOnStale.
 func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
-	if int(to) < 0 || int(to) >= len(e.nodes) {
-		panic(fmt.Sprintf("megasim: unknown node %d", to))
+	tslot := uint32(to) & slotMask
+	if int32(to) < 0 || int(tslot) >= len(e.nodes) {
+		panic(fmt.Sprintf("megasim: send: unknown node %d (slot %d outside the %d-slot arena)", to, tslot, len(e.nodes)))
 	}
-	src := e.node(from)
+	fslot := uint32(from) & slotMask
+	if int32(from) < 0 || int(fslot) >= len(e.nodes) {
+		panic(fmt.Sprintf("megasim: send: unknown node %d (slot %d outside the %d-slot arena)", from, fslot, len(e.nodes)))
+	}
+	src := &e.nodes[fslot]
+	if int(src.gen) != int(uint32(from)>>slotBits) {
+		// Silent, like a crashed sender: the message is never counted sent,
+		// so TotalStats' conservation identity (sent == received + random +
+		// dead drops) stays exact. StaleDrops counts only *deliveries* to
+		// recycled slots — those were counted sent and must balance.
+		if e.cfg.PanicOnStale {
+			panic(e.staleMsg("send", from))
+		}
+		recycleMsg(msg)
+		return
+	}
 	if !src.alive {
 		recycleMsg(msg)
 		return
@@ -721,7 +1002,7 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 		return
 	}
 	at := depart + e.pairLatency(sh, from, to)
-	d := int(to) % len(e.shards)
+	d := int(tslot) % len(e.shards)
 	if d == sh.id {
 		sh.pushDelivery(at, from, to, int32(size), msg)
 	} else {
@@ -738,9 +1019,22 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 // the reply departs through the node's own shaped uplink), never to the
 // protocol handler. A node without a sampler drops them silently, like
 // any unknown datagram.
+//
+// A delivery addressed to a stale handle — the destination incarnation
+// departed and its slot was recycled while the message was in flight —
+// is counted on the shard (StaleDrops; panic under PanicOnStale): the
+// new occupant never sees it. A stale *source* with a live destination
+// dead-drops normally — the sender was live when it sent, so the message
+// was counted sent, and its slot's recycling mid-flight changes nothing
+// about the destination-side accounting.
 func (e *Engine) deliver(sh *shard, ev *event) {
-	src, dst := &e.nodes[ev.from], &e.nodes[ev.to]
-	if !src.alive || !dst.alive {
+	src, dst := &e.nodes[uint32(ev.from)&slotMask], &e.nodes[uint32(ev.to)&slotMask]
+	if int(dst.gen) != int(uint32(ev.to)>>slotBits) {
+		e.noteStale(sh, "deliver", ev.to)
+		recycleMsg(ev.msg)
+		return
+	}
+	if int(src.gen) != int(uint32(ev.from)>>slotBits) || !src.alive || !dst.alive {
 		dst.stats.DeadDrops++
 		recycleMsg(ev.msg)
 		return
@@ -773,9 +1067,19 @@ func recycleMsg(msg wire.Message) {
 
 // pairLatency mirrors simnet's latency model: the mean of the node bases,
 // scaled by the ordered pair's fixed spread factor, plus per-message
-// jitter drawn from the executing shard's stream.
+// jitter drawn from the executing shard's stream. The sender a is always
+// current (send gen-checks it), but b may be a stale handle — draining
+// traffic to a recycled slot — whose base lives in the slot's prevBase
+// side table; both bases respect the admit clamp, so the delivery time
+// stays inside the lookahead bound either way. PairFactor hashes the
+// full handles, so a stale pair's spread factor is deterministic too.
 func (e *Engine) pairLatency(sh *shard, a, b NodeID) time.Duration {
-	base := float64(e.nodes[a].base+e.nodes[b].base) / 2
+	sb := &e.nodes[uint32(b)&slotMask]
+	bb := sb.base
+	if int(sb.gen) != int(uint32(b)>>slotBits) {
+		bb = sb.prevBase
+	}
+	base := float64(e.nodes[uint32(a)&slotMask].base+bb) / 2
 	if e.cfg.Net.PairSpread > 0 {
 		base *= simnet.PairFactor(e.pairSalt, a, b, e.cfg.Net.PairSpread)
 	}
@@ -788,11 +1092,20 @@ func (e *Engine) pairLatency(sh *shard, a, b NodeID) time.Duration {
 	return time.Duration(base)
 }
 
-func (e *Engine) node(id NodeID) *nodeState {
-	if int(id) < 0 || int(id) >= len(e.nodes) {
-		panic(fmt.Sprintf("megasim: unknown node %d", id))
+// lookup resolves a node handle for an accessor, panicking with a named,
+// actionable message when the handle cannot resolve: slot outside the
+// arena (the id was never minted) or generation mismatch (the incarnation
+// departed and its slot was recycled). op names the caller in the panic.
+func (e *Engine) lookup(op string, id NodeID) *nodeState {
+	slot := Slot(id)
+	if int32(id) < 0 || slot >= len(e.nodes) {
+		panic(fmt.Sprintf("megasim: %s: unknown node %d (slot %d outside the %d-slot arena)", op, id, slot, len(e.nodes)))
 	}
-	return &e.nodes[id]
+	nd := &e.nodes[slot]
+	if int(nd.gen) != Gen(id) {
+		panic(e.staleMsg(op, id))
+	}
+	return nd
 }
 
 // NodeEnv adapts one node to the engine. It satisfies core.Env.

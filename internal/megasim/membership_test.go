@@ -259,16 +259,17 @@ func TestMembershipInDegreeBalance10k(t *testing.T) {
 	if covered < n*99/100 {
 		t.Fatalf("only %d of %d nodes appear in any view", covered, n)
 	}
-	// Full slot-swap Cyclon would give a near-Poisson in-degree (CV ≈
-	// 1/√ViewSize ≈ 0.22); this package's keep-youngest merge levels out
-	// heavier but stable, measured CV ≈ 0.50 and max ≈ 5× mean from 15 s
-	// through 120 s of virtual time. The bounds below carry margin over
-	// that steady state while still catching real imbalance — starved
-	// nodes, runaway popularity, broken aging.
-	if cv > 0.65 {
-		t.Fatalf("in-degree CV = %.3f, want <= 0.65 (unbalanced overlay)", cv)
+	// The slot-swap merge conserves the global descriptor count, so the
+	// in-degree concentrates tightly around ViewSize: measured CV ≈ 0.11
+	// and max ≈ 1.5× mean here (keep-youngest merging, replaced in PR 9,
+	// measured CV ≈ 0.50 and max ≈ 5× mean; plain Cyclon theory predicts
+	// ≈ 1/√ViewSize ≈ 0.22). The bounds below carry margin over the
+	// measured steady state while still catching real imbalance —
+	// starved nodes, runaway popularity, broken aging or swap rules.
+	if cv > 0.2 {
+		t.Fatalf("in-degree CV = %.3f, want <= 0.2 (unbalanced overlay)", cv)
 	}
-	if float64(maxDeg) > 8*mean {
-		t.Fatalf("max in-degree %d exceeds 8× mean %.1f", maxDeg, mean)
+	if float64(maxDeg) > 3*mean {
+		t.Fatalf("max in-degree %d exceeds 3× mean %.1f", maxDeg, mean)
 	}
 }

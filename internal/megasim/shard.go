@@ -80,6 +80,7 @@ type shard struct {
 	windowsRun  uint64 // conservative windows run
 	outboxOut   uint64 // cross-shard messages handed to other shards
 	outboxIn    uint64 // cross-shard messages merged in
+	staleDrops  uint64 // deliveries addressed to recycled (stale) handles
 
 	nextTimer uint64
 	cancelled map[uint64]struct{}

@@ -90,6 +90,13 @@ func Default() *Config {
 				"(*shard).runWindow", "(*shard).mergeInbound",
 				"(*heapQueue).push", "(*heapQueue).pop",
 				"(*calendarQueue).push", "(*calendarQueue).pop", "(*calendarQueue).peekAt",
+				// The arena-recycling paths: Release runs per departure
+				// (10k/s at 1%/s churn on a million nodes) and the
+				// quarantine/free-list drains run per admission. The
+				// handle-decode checks on the event path are already
+				// reachable from runWindow; these roots pin the free-list
+				// side to reused capacity and flat slot arithmetic.
+				"(*Engine).Release", "(*Engine).drainQuarantine", "(*Engine).takeFree",
 			},
 			// The SERVE batch split runs once per request served — millions
 			// of times per simulated minute at scale.

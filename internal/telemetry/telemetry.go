@@ -28,6 +28,7 @@ type ShardLoad struct {
 	Pending     int    `json:"pending"`      // events still queued
 	OutboxOut   uint64 `json:"outbox_out"`   // cross-shard messages sent
 	OutboxIn    uint64 `json:"outbox_in"`    // cross-shard messages merged in
+	StaleDrops  uint64 `json:"stale_drops"`  // deliveries to recycled (stale) handles
 }
 
 // WallProfile is the supervisor-sampled wall-time split of a run: shard
