@@ -143,6 +143,124 @@ func BenchmarkMegasim100kShards8(b *testing.B) {
 	benchMegasim(b, 100_000, 8)
 }
 
+// BenchmarkMegasimScenario* are the adversarial membership scenarios at
+// 10k nodes: the crash-leave vs graceful-leave twins at a 1%/s leave
+// rate (same seed, same departure schedule — the completeness gap is
+// pure detection lag; leave-only, so joiner bootstrap doesn't confound
+// the split), a 10x flash crowd joining over 10 simulated seconds, and
+// a population that is one-fifth free-riders. cmd/benchjson collects
+// the rows into BENCH_sim.json ("megasim_scenarios") and records the
+// graceful-over-crash ratios when both twins are present.
+func benchMegasimScenario(b *testing.B, nodes int, mut func(*ExperimentConfig)) *ExperimentResult {
+	b.ReportAllocs()
+	var res *ExperimentResult
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(nodes, 8, simulatedScale)
+		cfg.Seed = 1
+		cfg.Membership = MembershipCyclon
+		mut(&cfg)
+		var err error
+		res, err = RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		lq := res.LifetimeQualities(res.Config.BootstrapGrace())
+		b.ReportMetric(MeanCompleteFraction(lq, OfflineLag), "complete%")
+		joined, departed := 0, 0
+		for _, n := range res.Nodes {
+			if n.JoinedAt > 0 {
+				joined++
+			}
+			if !n.Survived {
+				departed++
+			}
+		}
+		b.ReportMetric(float64(joined), "joined/op")
+		b.ReportMetric(float64(departed), "departed/op")
+	}
+	return res
+}
+
+func BenchmarkMegasimScenarioCrashLeave10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimScenario(b, 10_000, func(cfg *ExperimentConfig) {
+		cfg.ChurnProcess = SustainedChurn(0, 0.01*float64(cfg.Nodes))
+	})
+}
+
+func BenchmarkMegasimScenarioGracefulLeave10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	benchMegasimScenario(b, 10_000, func(cfg *ExperimentConfig) {
+		cfg.ChurnProcess = GracefulChurn(0, 0.01*float64(cfg.Nodes))
+	})
+}
+
+// BenchmarkMegasimScenarioFlashCrowd10k starts from 1,000 nodes and
+// admits 9,000 more — 10x the population — spread over 10 simulated
+// seconds starting at t = 2 s. converged% is the acceptance number: the
+// share of crowd members who joined with at least the bootstrap grace
+// plus two windows of stream left and went on to complete at least one
+// whole window.
+func BenchmarkMegasimScenarioFlashCrowd10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	res := benchMegasimScenario(b, 1_000, func(cfg *ExperimentConfig) {
+		cfg.ChurnProcess = FlashCrowdChurn(2*time.Second, 9*cfg.Nodes, 10*time.Second)
+	})
+	cfg := res.Config
+	windowTime := cfg.Layout.Duration() / time.Duration(cfg.Layout.Windows)
+	deadline := cfg.Layout.Duration() - cfg.BootstrapGrace() - 2*windowTime
+	joiners, converged := 0, 0
+	for _, n := range res.Nodes {
+		if n.JoinedAt == 0 || n.JoinedAt > deadline {
+			continue
+		}
+		joiners++
+		for w := 0; w < n.Quality.Windows(); w++ {
+			if _, ok := n.Quality.WindowLag(w); ok {
+				converged++
+				break
+			}
+		}
+	}
+	if joiners > 0 {
+		b.ReportMetric(100*float64(converged)/float64(joiners), "converged%")
+	}
+}
+
+func BenchmarkMegasimScenarioFreeRiders10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-node scale run skipped in -short mode")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaledExperiment(10_000, 8, simulatedScale)
+		cfg.Seed = 1
+		cfg.Membership = MembershipCyclon
+		cfg.FreeRiders = 0.2
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events executed")
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(res.ClassCount(true)), "riders/op")
+		b.ReportMetric(res.ClassMeanCompletePct(true, OfflineLag), "rider-complete%")
+		b.ReportMetric(res.ClassMeanCompletePct(false, OfflineLag), "server-complete%")
+	}
+}
+
 // BenchmarkMegasimQueue* are the scheduler ablation pair: the same
 // single-shard baseline run on the 4-ary heap and on the calendar queue.
 // Single-shard isolates the scheduler (no barrier or merge overlap to

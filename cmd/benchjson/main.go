@@ -68,6 +68,12 @@ type Report struct {
 	// incarnation and arena-slot counts: the proof that slot recycling
 	// holds engine memory at O(live nodes) while total joins grow.
 	ArenaRecycling map[string]map[string]float64 `json:"megasim_arena_recycling,omitempty"`
+	// Scenarios records each adversarial membership scenario row
+	// ("MegasimScenario...") — wall seconds plus every reported metric —
+	// and, when both leave-style twins are present, the graceful-over-
+	// crash wall and completeness ratios: the share of the churn cost
+	// that is detection lag rather than unavoidable loss.
+	Scenarios map[string]map[string]float64 `json:"megasim_scenarios,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   1   123456 ns/op   7.5 extra/unit ...`.
@@ -194,6 +200,7 @@ func run(simBench, kernelBench, kernelTime, queueBench, queueTime, queuePkg, pkg
 	rep.StreamingMemory = streamingMemory(rep.Results)
 	rep.QueueAblation = queueAblation(rep.Results)
 	rep.ArenaRecycling = arenaRecycling(rep.Results)
+	rep.Scenarios = scenarios(rep.Results)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -374,6 +381,50 @@ func arenaRecycling(results []Result) map[string]map[string]float64 {
 		}
 		if len(pair) > 0 {
 			out[name] = pair
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// scenarios collects the adversarial membership scenario rows
+// ("MegasimScenario...") into one section: wall seconds plus every metric
+// the benchmark reported. Each graceful-leave row is additionally paired
+// with its crash-leave twin (the same name with "GracefulLeave" replaced
+// by "CrashLeave") to record the wall and complete% ratios — the twins
+// share a departure schedule, so the completeness gap is exactly the cost
+// of failure detection lag.
+func scenarios(results []Result) map[string]map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	out := map[string]map[string]float64{}
+	for name, r := range byName {
+		if !strings.Contains(name, "MegasimScenario") {
+			continue
+		}
+		row := map[string]float64{"secs": r.NsPerOp / 1e9}
+		for k, v := range r.Metrics {
+			row[k] = v
+		}
+		out[name] = row
+	}
+	for name, g := range byName {
+		if !strings.Contains(name, "MegasimScenario") || !strings.Contains(name, "GracefulLeave") {
+			continue
+		}
+		crash, ok := byName[strings.Replace(name, "GracefulLeave", "CrashLeave", 1)]
+		if !ok {
+			continue
+		}
+		if crash.NsPerOp > 0 {
+			out[name]["wall_over_crash"] = g.NsPerOp / crash.NsPerOp
+		}
+		if cc, gc := crash.Metrics["complete%"], g.Metrics["complete%"]; cc > 0 && gc > 0 {
+			out[name]["complete_over_crash"] = gc / cc
 		}
 	}
 	if len(out) == 0 {

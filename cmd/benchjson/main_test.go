@@ -105,6 +105,42 @@ func TestQueueAblationPairing(t *testing.T) {
 	}
 }
 
+func TestScenariosSection(t *testing.T) {
+	results := []Result{
+		{Name: "MegasimScenarioCrashLeave10k", NsPerOp: 10e9,
+			Metrics: map[string]float64{"complete%": 0.90, "joined/op": 12900}},
+		{Name: "MegasimScenarioGracefulLeave10k", NsPerOp: 11e9,
+			Metrics: map[string]float64{"complete%": 0.945, "joined/op": 12900}},
+		// Scenario without a twin: collected, no ratios.
+		{Name: "MegasimScenarioFlashCrowd10k", NsPerOp: 5e9,
+			Metrics: map[string]float64{"joined/op": 9000}},
+		// Non-scenario rows never match.
+		{Name: "Megasim2kShards1", NsPerOp: 10e9},
+	}
+	got := scenarios(results)
+	if len(got) != 3 {
+		t.Fatalf("scenarios = %v, want exactly 3 rows", got)
+	}
+	graceful := got["MegasimScenarioGracefulLeave10k"]
+	if math.Abs(graceful["secs"]-11) > 1e-9 || math.Abs(graceful["complete%"]-0.945) > 1e-9 {
+		t.Fatalf("graceful row = %v, want secs 11 and its own metrics", graceful)
+	}
+	if math.Abs(graceful["wall_over_crash"]-1.1) > 1e-9 ||
+		math.Abs(graceful["complete_over_crash"]-1.05) > 1e-9 {
+		t.Fatalf("graceful ratios = %v, want wall 1.1, complete 1.05", graceful)
+	}
+	flash := got["MegasimScenarioFlashCrowd10k"]
+	if _, ok := flash["wall_over_crash"]; ok {
+		t.Fatal("twin ratio derived for a scenario without a crash twin")
+	}
+	if math.Abs(flash["joined/op"]-9000) > 1e-9 {
+		t.Fatalf("flash row = %v, want joined/op carried through", flash)
+	}
+	if got := scenarios([]Result{{Name: "Megasim2kShards1", NsPerOp: 1}}); got != nil {
+		t.Fatalf("scenarios = %v, want nil with no scenario rows", got)
+	}
+}
+
 func TestPoissonChurnPairing(t *testing.T) {
 	results := []Result{
 		{Name: "Megasim2kCyclonShards1", NsPerOp: 10e9, Metrics: map[string]float64{"events/op": 4e6}},

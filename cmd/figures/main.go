@@ -38,7 +38,7 @@ func run(args []string, out io.Writer) error {
 		shards  = fs.Int("shards", 0, "simulation shards (0 = single-threaded kernel, >=1 = sharded engine)")
 		queue   = fs.String("queue", "heap", "sharded-engine scheduler: heap or calendar (same results, different wall time; needs -shards >= 1)")
 		members = fs.String("membership", "full", "membership substrate for every sweep: full or cyclon")
-		churnAt = fs.String("churn", "0", "base churn for every sweep: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (needs -membership cyclon and -shards >= 1)")
+		churnAt = fs.String("churn", "0", "base churn for every sweep: a fraction failing mid-stream; poisson:<join>,<leave> or graceful:<join>,<leave> fractions of the population per second; or flash:<mult>,<secs>[,<start-secs>] (needs -membership cyclon and -shards >= 1)")
 		outDir  = fs.String("out", "figures", "directory for figure text files")
 		only    = fs.String("only", "", "comma-separated figure selection, e.g. 1,2,7 (default all)")
 

@@ -18,6 +18,15 @@
 //
 //	gossipsim -nodes 10000 -shards 8 -windows 9 -membership cyclon -churn poisson:0.01,0.01
 //
+// Example — the same departure schedule announced gracefully (LEAVE
+// messages shed leavers from live views immediately), a 10× flash crowd
+// joining over 10 s, and a population where a fifth of the nodes
+// free-ride:
+//
+//	gossipsim -nodes 10000 -shards 8 -windows 9 -membership cyclon -churn graceful:0.01,0.01
+//	gossipsim -nodes 1000 -shards 8 -windows 9 -membership cyclon -churn flash:10,10
+//	gossipsim -nodes 1000 -shards 8 -windows 9 -membership cyclon -freeriders 0.2
+//
 // Example — a large run with streaming metrics (no per-node state
 // retained), a live progress line, and a JSON run manifest:
 //
@@ -58,7 +67,8 @@ func run(args []string, out io.Writer) error {
 		feed    = fs.Int("feed", 0, "feed-me rate Y (0 = disabled, the paper's ∞)")
 		capKbps = fs.Int64("cap", 700, "upload cap per node in kbps (0 = unlimited)")
 		windows = fs.Int("windows", 120, "stream length in 110-packet windows")
-		churnAt = fs.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (sustained; joins need -membership cyclon and -shards >= 1)")
+		churnAt = fs.String("churn", "0", "churn: a fraction failing mid-stream; poisson:<join>,<leave> or graceful:<join>,<leave> fractions of the population per second (sustained; graceful leavers announce their exit); or flash:<mult>,<secs>[,<start-secs>] (a crowd joining at once; joins need -membership cyclon and -shards >= 1)")
+		riders  = fs.Float64("freeriders", 0, "fraction of nodes that free-ride: receive the stream but never propose or serve")
 		seed    = fs.Int64("seed", 1, "simulation seed")
 		verbose = fs.Bool("v", false, "print per-node detail")
 
@@ -93,6 +103,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-cap %d: want >= 0", *capKbps)
 	case *windows < 1:
 		return fmt.Errorf("-windows %d: want >= 1", *windows)
+	case *riders < 0 || *riders > 1:
+		return fmt.Errorf("-freeriders %v: want a fraction in [0, 1]", *riders)
 	}
 
 	cfg := gossipstream.DefaultExperiment()
@@ -117,6 +129,7 @@ func run(args []string, out io.Writer) error {
 	if err := gossipstream.ApplyChurnFlag(&cfg, *churnAt); err != nil {
 		return fmt.Errorf("-%w", err)
 	}
+	cfg.FreeRiders = *riders
 	cfg.StreamingMetrics = *streaming
 	if *verbose && *streaming {
 		return errors.New("-v needs per-node results, which -streaming does not retain")
@@ -200,6 +213,18 @@ func run(args []string, out io.Writer) error {
 			res.JoinedCount(), res.DepartedCount(), res.PresentCount(), res.NodeCount())
 		fmt.Fprintf(out, "%-28s %7.1f%%\n", "complete windows (present)",
 			res.PresentMeanCompletePct(gossipstream.OfflineLag))
+	}
+
+	if cfg.FreeRiders > 0 {
+		// Service asymmetry: score the leeching class against the nodes
+		// actually serving, over lifetime-eligible windows.
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "free-riders: %d of %d scored nodes leech (never propose or serve)\n",
+			res.ClassCount(true), res.ClassCount(true)+res.ClassCount(false))
+		fmt.Fprintf(out, "%-28s %7.1f%%\n", "complete windows (riders)",
+			res.ClassMeanCompletePct(true, gossipstream.OfflineLag))
+		fmt.Fprintf(out, "%-28s %7.1f%%\n", "complete windows (servers)",
+			res.ClassMeanCompletePct(false, gossipstream.OfflineLag))
 	}
 
 	if dist := res.UploadDistribution(); len(dist) > 0 {

@@ -34,7 +34,7 @@ func main() {
 		nodes     = flag.Int("nodes", 10_000, "system size including the source")
 		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "parallel shards")
 		secs      = flag.Int("seconds", 30, "simulated seconds (stream + drain)")
-		churn     = flag.String("churn", "0", "churn: a fraction failing mid-stream, or poisson:<join>,<leave> fractions of the population per second (joins need -membership cyclon)")
+		churn     = flag.String("churn", "0", "churn: a fraction failing mid-stream; poisson:<join>,<leave> or graceful:<join>,<leave> fractions of the population per second; or flash:<mult>,<secs>[,<start-secs>] (joins need -membership cyclon)")
 		members   = flag.String("membership", "full", "membership substrate: full (global view) or cyclon (partial views)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		queue     = flag.String("queue", "calendar", "per-shard scheduler: calendar (fast) or heap")

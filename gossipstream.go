@@ -271,6 +271,29 @@ func SustainedChurn(joinPerSec, leavePerSec float64) *ChurnProcess {
 	return &p
 }
 
+// GracefulChurn is SustainedChurn with graceful departures: each leaving
+// node announces its exit (a LEAVE to every peer in its view) before
+// going silent, so live views shed its descriptor immediately instead of
+// waiting out detection. The departure instants and victims are drawn
+// from the same streams as SustainedChurn's, so a graceful run and a
+// crash-leave run at the same seed and rates remove identical nodes at
+// identical times — comparing the two isolates the cost of detection lag
+// from unavoidable loss. Requires MembershipCyclon.
+func GracefulChurn(joinPerSec, leavePerSec float64) *ChurnProcess {
+	p := churn.SustainedPoisson(joinPerSec, leavePerSec)
+	p.GracefulLeaves = true
+	return &p
+}
+
+// FlashCrowdChurn returns a churn process admitting joiners extra nodes
+// spread evenly over the span starting at the given time — the flash
+// crowd scenario, exercising runtime admission, Cyclon bootstrap, and
+// uplink contention all at once. Requires the sharded engine and
+// MembershipCyclon, like any joining process.
+func FlashCrowdChurn(at time.Duration, joiners int, over time.Duration) *ChurnProcess {
+	return &churn.Process{Flash: []churn.FlashCrowd{{At: at, Joiners: joiners, Over: over}}}
+}
+
 // ApplyChurnFlag interprets the -churn CLI spelling shared by
 // cmd/gossipsim, cmd/figures and examples/megascale, mutating cfg:
 //
@@ -280,33 +303,64 @@ func SustainedChurn(joinPerSec, leavePerSec float64) *ChurnProcess {
 //   - "poisson:<join>,<leave>": sustained churn, where each rate is the
 //     fraction of the configured population joining/leaving per simulated
 //     second (so "poisson:0.01,0.01" turns over ≈1% of cfg.Nodes every
-//     second).
+//     second);
+//   - "graceful:<join>,<leave>": the same sustained process with graceful
+//     departures — each leaver announces its exit before going silent
+//     (GracefulChurn). Same streams, same victims, same instants as the
+//     poisson spelling at the same seed, so the two are direct twins;
+//   - "flash:<mult>,<secs>[,<start-secs>]": a flash crowd — the population
+//     grows to mult× its configured size, the (mult-1)·Nodes joiners
+//     spread evenly over secs seconds, starting at start-secs (default: a
+//     quarter into the stream).
 //
 // Callers must set cfg.Nodes and cfg.Layout before applying the flag: the
-// Poisson rates scale with the population and the burst instant is half
-// the stream.
+// Poisson rates and the crowd size scale with the population, and the
+// burst and flash instants are fractions of the stream.
 func ApplyChurnFlag(cfg *ExperimentConfig, spec string) error {
 	if spec == "" || spec == "0" {
 		return nil
 	}
 	if rest, ok := strings.CutPrefix(spec, "poisson:"); ok {
-		parts := strings.Split(rest, ",")
-		if len(parts) != 2 {
-			return fmt.Errorf("churn %q: want poisson:<join>,<leave>", spec)
-		}
-		rates := make([]float64, 2)
-		for i, part := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil || v < 0 || v > 1 || math.IsNaN(v) {
-				// The cap catches absolute rates passed where fractions
-				// belong: above 1, the whole population would turn over
-				// more than once per second.
-				return fmt.Errorf("churn %q: rate %q: want a fraction of the population per second, in [0, 1]", spec, part)
-			}
-			rates[i] = v
+		rates, err := parseChurnRates(spec, rest, "poisson:<join>,<leave>")
+		if err != nil {
+			return err
 		}
 		n := float64(cfg.Nodes)
 		cfg.ChurnProcess = SustainedChurn(rates[0]*n, rates[1]*n)
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "graceful:"); ok {
+		rates, err := parseChurnRates(spec, rest, "graceful:<join>,<leave>")
+		if err != nil {
+			return err
+		}
+		n := float64(cfg.Nodes)
+		cfg.ChurnProcess = GracefulChurn(rates[0]*n, rates[1]*n)
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "flash:"); ok {
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return fmt.Errorf("churn %q: want flash:<mult>,<secs>[,<start-secs>]", spec)
+		}
+		mult, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil || math.IsNaN(mult) || mult < 1 {
+			return fmt.Errorf("churn %q: multiplier %q: want a population multiple >= 1", spec, parts[0])
+		}
+		secs, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil || math.IsNaN(secs) || secs < 0 {
+			return fmt.Errorf("churn %q: span %q: want seconds >= 0", spec, parts[1])
+		}
+		start := cfg.Layout.Duration() / 4
+		if len(parts) == 3 {
+			s, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil || math.IsNaN(s) || s < 0 {
+				return fmt.Errorf("churn %q: start %q: want seconds >= 0", spec, parts[2])
+			}
+			start = time.Duration(s * float64(time.Second))
+		}
+		joiners := int(math.Round((mult - 1) * float64(cfg.Nodes)))
+		cfg.ChurnProcess = FlashCrowdChurn(start, joiners, time.Duration(secs*float64(time.Second)))
 		return nil
 	}
 	frac, err := strconv.ParseFloat(spec, 64)
@@ -320,6 +374,27 @@ func ApplyChurnFlag(cfg *ExperimentConfig, spec string) error {
 		cfg.Churn = Catastrophe(cfg.Layout.Duration()/2, frac)
 	}
 	return nil
+}
+
+// parseChurnRates parses the "<join>,<leave>" tail shared by the poisson
+// and graceful churn spellings: two per-second population fractions.
+func parseChurnRates(spec, rest, grammar string) ([2]float64, error) {
+	var rates [2]float64
+	parts := strings.Split(rest, ",")
+	if len(parts) != 2 {
+		return rates, fmt.Errorf("churn %q: want %s", spec, grammar)
+	}
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 || v > 1 || math.IsNaN(v) {
+			// The cap catches absolute rates passed where fractions belong:
+			// above 1, the whole population would turn over more than once
+			// per second.
+			return rates, fmt.Errorf("churn %q: rate %q: want a fraction of the population per second, in [0, 1]", spec, part)
+		}
+		rates[i] = v
+	}
+	return rates, nil
 }
 
 // PercentViewable returns the share of nodes viewing the stream within the

@@ -49,8 +49,16 @@ func Catastrophic(at time.Duration, fraction float64) []Event {
 	return []Event{{At: at, Fraction: fraction}}
 }
 
-// Staggered returns bursts of equal total size split over count events
-// spaced interval apart — an extension scenario for gradual churn.
+// Staggered returns count bursts spaced interval apart that together kill
+// totalFraction of the schedule-time population — an extension scenario
+// for gradual churn.
+//
+// Each burst's Fraction applies to the live set at execution time, which
+// the earlier bursts have already shrunk. Equal per-burst fractions would
+// therefore compound below the documented total (50% over 5 bursts would
+// kill only 1−(1−0.1)⁵ ≈ 41%), so the fractions grow as per/(1−i·per):
+// burst i then removes exactly per of the original population, and the
+// count bursts sum to totalFraction of it.
 func Staggered(start time.Duration, interval time.Duration, count int, totalFraction float64) []Event {
 	if count <= 0 {
 		return nil
@@ -58,7 +66,11 @@ func Staggered(start time.Duration, interval time.Duration, count int, totalFrac
 	per := totalFraction / float64(count)
 	events := make([]Event, count)
 	for i := range events {
-		events[i] = Event{At: start + time.Duration(i)*interval, Fraction: per}
+		f := per / (1 - float64(i)*per)
+		if f > 1 { // float noise near totalFraction == 1
+			f = 1
+		}
+		events[i] = Event{At: start + time.Duration(i)*interval, Fraction: f}
 	}
 	return events
 }
@@ -75,6 +87,12 @@ const (
 	// OpBurst crashes Fraction of the live nodes at one instant — the
 	// paper's catastrophic scenario as a degenerate case of the process.
 	OpBurst
+	// OpGracefulLeave removes one live node gracefully: before it stops,
+	// the node gossips a LEAVE so partners shed its descriptor immediately
+	// instead of waiting for it to age out. Comparing graceful vs crash
+	// departures at identical rates splits churn cost into detection lag
+	// vs unavoidable loss.
+	OpGracefulLeave
 )
 
 // String names the op for error messages and logs.
@@ -86,6 +104,8 @@ func (o Op) String() string {
 		return "leave"
 	case OpBurst:
 		return "burst"
+	case OpGracefulLeave:
+		return "graceful-leave"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -99,10 +119,38 @@ type TimelineEvent struct {
 	Fraction float64
 }
 
+// MaxFlashJoiners bounds one flash crowd's size, for the same reason
+// MaxRate bounds the Poisson rates: a typo must fail validation instead of
+// materializing a timeline of billions of admission barriers.
+const MaxFlashJoiners = 1_000_000
+
+// FlashCrowd is a step join process: Joiners nodes arrive evenly spread
+// over [At, At+Over) — e.g. a 10× population spike over 10 s. Over == 0
+// schedules every join at the same instant.
+type FlashCrowd struct {
+	At      time.Duration
+	Joiners int
+	Over    time.Duration
+}
+
+// Validate reports whether the flash crowd is well formed.
+func (f FlashCrowd) Validate() error {
+	if f.At < 0 {
+		return fmt.Errorf("churn: flash crowd at %v before start", f.At)
+	}
+	if f.Joiners < 0 || f.Joiners > MaxFlashJoiners {
+		return fmt.Errorf("churn: flash crowd of %d joiners, want in [0, %d]", f.Joiners, MaxFlashJoiners)
+	}
+	if f.Over < 0 {
+		return fmt.Errorf("churn: flash crowd spread %v negative", f.Over)
+	}
+	return nil
+}
+
 // Process describes sustained churn: two independent Poisson streams — node
 // arrivals at JoinPerSec and departures at LeavePerSec — plus optional
-// catastrophic bursts folded into the same schedule. The zero value is a
-// valid no-churn process.
+// catastrophic bursts and flash-crowd join steps folded into the same
+// schedule. The zero value is a valid no-churn process.
 type Process struct {
 	// JoinPerSec is the expected number of node arrivals per simulated
 	// second (0 disables joins). Arrivals are a Poisson process: Timeline
@@ -112,9 +160,16 @@ type Process struct {
 	// (0 disables). The executor picks each victim uniformly among the live
 	// non-source nodes at event time.
 	LeavePerSec float64
+	// GracefulLeaves switches the departure stream from crash-style OpLeave
+	// to OpGracefulLeave. The stream keeps its seed salt, so a graceful
+	// twin of a crash run schedules departures at identical instants — the
+	// comparison isolates detection lag from unavoidable loss.
+	GracefulLeaves bool
 	// Bursts lists catastrophic events to merge into the timeline — the
 	// paper's burst schedule as a degenerate case of the process.
 	Bursts []Event
+	// Flash lists flash-crowd join steps to merge into the timeline.
+	Flash []FlashCrowd
 }
 
 // SustainedPoisson returns a process with the given Poisson join and leave
@@ -142,12 +197,32 @@ func (p Process) Validate() error {
 			return err
 		}
 	}
+	for _, f := range p.Flash {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // IsZero reports whether the process describes no churn at all.
 func (p Process) IsZero() bool {
-	return p.JoinPerSec == 0 && p.LeavePerSec == 0 && len(p.Bursts) == 0
+	return p.JoinPerSec == 0 && p.LeavePerSec == 0 && len(p.Bursts) == 0 && len(p.Flash) == 0
+}
+
+// HasJoins reports whether the process admits nodes at runtime — such a
+// process needs an executor with runtime admission and a membership
+// substrate that can learn the newcomers.
+func (p Process) HasJoins() bool {
+	if p.JoinPerSec > 0 {
+		return true
+	}
+	for _, f := range p.Flash {
+		if f.Joiners > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Timeline expands the process into a deterministic event schedule over
@@ -179,8 +254,23 @@ func (p Process) Timeline(seed int64, horizon time.Duration) []TimelineEvent {
 			out = append(out, TimelineEvent{At: at, Op: op})
 		}
 	}
-	appendPoisson(p.JoinPerSec, OpJoin, 0x6a6f696e)   // "join"
-	appendPoisson(p.LeavePerSec, OpLeave, 0x6c656176) // "leav"
+	leaveOp := OpLeave
+	if p.GracefulLeaves {
+		leaveOp = OpGracefulLeave
+	}
+	appendPoisson(p.JoinPerSec, OpJoin, 0x6a6f696e) // "join"
+	for _, f := range p.Flash {
+		for j := 0; j < f.Joiners; j++ {
+			at := f.At
+			if f.Joiners > 1 {
+				at += time.Duration(j) * f.Over / time.Duration(f.Joiners)
+			}
+			if at < horizon {
+				out = append(out, TimelineEvent{At: at, Op: OpJoin})
+			}
+		}
+	}
+	appendPoisson(p.LeavePerSec, leaveOp, 0x6c656176) // "leav"
 	for _, e := range p.Bursts {
 		if e.At < horizon {
 			out = append(out, TimelineEvent{At: e.At, Op: OpBurst, Fraction: e.Fraction})
@@ -193,9 +283,15 @@ func (p Process) Timeline(seed int64, horizon time.Duration) []TimelineEvent {
 }
 
 // Pick selects the victims of an event: a uniformly random subset of the
-// eligible nodes sized round(len(eligible) * fraction).
+// eligible nodes sized round(len(eligible) * fraction), with a floor of
+// one victim whenever fraction > 0 and any node is eligible — a nonzero
+// burst is never a silent no-op, however small the population (at the
+// paper's 230 nodes, fractions under 0.22% used to round to nothing).
 func Pick(eligible []wire.NodeID, fraction float64, rng *rand.Rand) []wire.NodeID {
 	k := int(float64(len(eligible))*fraction + 0.5)
+	if k == 0 && fraction > 0 && len(eligible) > 0 {
+		k = 1
+	}
 	if k <= 0 {
 		return nil
 	}

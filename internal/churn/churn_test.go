@@ -44,19 +44,76 @@ func TestStaggered(t *testing.T) {
 	if len(events) != 4 {
 		t.Fatalf("got %d events, want 4", len(events))
 	}
-	total := 0.0
 	for i, e := range events {
-		want := 10*time.Second + time.Duration(i)*5*time.Second
-		if e.At != want {
-			t.Fatalf("event %d at %v, want %v", i, e.At, want)
+		wantAt := 10*time.Second + time.Duration(i)*5*time.Second
+		if e.At != wantAt {
+			t.Fatalf("event %d at %v, want %v", i, e.At, wantAt)
 		}
-		total += e.Fraction
-	}
-	if total < 0.399 || total > 0.401 {
-		t.Fatalf("total fraction %v, want 0.4", total)
+		// Compensated fractions: burst i removes per/(1−i·per) of the live
+		// set the earlier bursts already shrank, i.e. exactly per of the
+		// schedule-time population.
+		wantF := 0.1 / (1 - 0.1*float64(i))
+		if math.Abs(e.Fraction-wantF) > 1e-12 {
+			t.Fatalf("event %d fraction %v, want %v", i, e.Fraction, wantF)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
 	}
 	if Staggered(0, 0, 0, 0.5) != nil {
 		t.Fatal("zero-count staggered should be nil")
+	}
+	// Full kill stays valid: the last burst wipes the remaining live set.
+	full := Staggered(0, time.Second, 2, 1)
+	if full[0].Fraction != 0.5 || full[1].Fraction != 1 {
+		t.Fatalf("full-kill fractions = %v, %v, want 0.5, 1", full[0].Fraction, full[1].Fraction)
+	}
+}
+
+// TestStaggeredDeliversTotal is the regression for the compounding
+// under-delivery: applying the bursts sequentially to a shrinking live set
+// must kill exactly totalFraction of the schedule-time population (the old
+// equal fractions killed 1−(1−per)^count, ≈41% instead of 50% over 5
+// bursts). Victim counts are pinned per burst.
+func TestStaggeredDeliversTotal(t *testing.T) {
+	tests := []struct {
+		n, count int
+		total    float64
+		perBurst int
+	}{
+		{1000, 5, 0.5, 100},
+		{1000, 4, 0.4, 100},
+		{230, 5, 0.5, 23}, // paper scale
+	}
+	for _, tt := range tests {
+		rng := rand.New(rand.NewSource(9))
+		live := make([]wire.NodeID, tt.n)
+		for i := range live {
+			live[i] = wire.NodeID(i)
+		}
+		killed := 0
+		for i, e := range Staggered(0, time.Second, tt.count, tt.total) {
+			victims := Pick(live, e.Fraction, rng)
+			if len(victims) != tt.perBurst {
+				t.Fatalf("n=%d total=%v burst %d killed %d, want %d",
+					tt.n, tt.total, i, len(victims), tt.perBurst)
+			}
+			killed += len(victims)
+			dead := make(map[wire.NodeID]bool, len(victims))
+			for _, v := range victims {
+				dead[v] = true
+			}
+			next := live[:0]
+			for _, id := range live {
+				if !dead[id] {
+					next = append(next, id)
+				}
+			}
+			live = next
+		}
+		if want := int(tt.total*float64(tt.n) + 0.5); killed != want {
+			t.Fatalf("n=%d total=%v killed %d overall, want %d", tt.n, tt.total, killed, want)
+		}
 	}
 }
 
@@ -95,6 +152,26 @@ func TestPickDistinctAndEligible(t *testing.T) {
 			}
 			seen[id] = true
 		}
+	}
+}
+
+// TestPickFloorsAtOne is the regression for the small-fraction no-op: a
+// nonzero fraction over a nonempty set kills at least one node (229
+// eligible × 0.002 used to round to zero victims).
+func TestPickFloorsAtOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	eligible := make([]wire.NodeID, 229)
+	for i := range eligible {
+		eligible[i] = wire.NodeID(i + 1)
+	}
+	if got := Pick(eligible, 0.002, rng); len(got) != 1 {
+		t.Fatalf("Pick(229, 0.002) selected %d victims, want the floor of 1", len(got))
+	}
+	if got := Pick(eligible, 0, rng); got != nil {
+		t.Fatalf("Pick(229, 0) = %v, want nil (zero fraction stays a no-op)", got)
+	}
+	if got := Pick(nil, 0.5, rng); got != nil {
+		t.Fatalf("Pick(0, 0.5) = %v, want nil (nothing eligible)", got)
 	}
 }
 
@@ -240,9 +317,10 @@ func TestTimelineDegenerateBurst(t *testing.T) {
 		t.Fatalf("got %d events, want 3", len(tl))
 	}
 	for i, ev := range tl {
-		want := 10*time.Second + time.Duration(i)*5*time.Second
-		if ev.Op != OpBurst || ev.At != want || math.Abs(ev.Fraction-0.1) > 1e-9 {
-			t.Fatalf("event %d = %+v, want burst at %v fraction 0.1", i, ev, want)
+		wantAt := 10*time.Second + time.Duration(i)*5*time.Second
+		wantF := 0.1 / (1 - 0.1*float64(i))
+		if ev.Op != OpBurst || ev.At != wantAt || math.Abs(ev.Fraction-wantF) > 1e-9 {
+			t.Fatalf("event %d = %+v, want burst at %v fraction %v", i, ev, wantAt, wantF)
 		}
 	}
 	if got := (Process{}).Timeline(1, time.Minute); len(got) != 0 {
@@ -250,8 +328,102 @@ func TestTimelineDegenerateBurst(t *testing.T) {
 	}
 }
 
+// TestTimelineGracefulLeaves: flipping GracefulLeaves swaps the op but not
+// the schedule — the graceful twin departs at instants identical to the
+// crash twin's, which is what isolates detection lag.
+func TestTimelineGracefulLeaves(t *testing.T) {
+	crash := SustainedPoisson(1, 2)
+	graceful := crash
+	graceful.GracefulLeaves = true
+	a := crash.Timeline(3, time.Minute)
+	b := graceful.Timeline(3, time.Minute)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("timeline lengths differ: crash %d, graceful %d", len(a), len(b))
+	}
+	leaves := 0
+	for i := range a {
+		if a[i].At != b[i].At {
+			t.Fatalf("event %d: crash at %v, graceful at %v", i, a[i].At, b[i].At)
+		}
+		switch a[i].Op {
+		case OpLeave:
+			leaves++
+			if b[i].Op != OpGracefulLeave {
+				t.Fatalf("event %d: crash leave paired with %v", i, b[i].Op)
+			}
+		default:
+			if b[i].Op != a[i].Op {
+				t.Fatalf("event %d: ops diverge (%v vs %v)", i, a[i].Op, b[i].Op)
+			}
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leave events at 2/s over a minute")
+	}
+}
+
+// TestTimelineFlashCrowd: a flash crowd expands into evenly spaced joins
+// over [At, At+Over), zero spread lands every join at one instant, and
+// events beyond the horizon are dropped.
+func TestTimelineFlashCrowd(t *testing.T) {
+	p := Process{Flash: []FlashCrowd{{At: 10 * time.Second, Joiners: 50, Over: 10 * time.Second}}}
+	tl := p.Timeline(1, time.Minute)
+	if len(tl) != 50 {
+		t.Fatalf("got %d events, want 50", len(tl))
+	}
+	for i, ev := range tl {
+		want := 10*time.Second + time.Duration(i)*10*time.Second/50
+		if ev.Op != OpJoin || ev.At != want {
+			t.Fatalf("event %d = %+v, want join at %v", i, ev, want)
+		}
+	}
+	step := Process{Flash: []FlashCrowd{{At: 59 * time.Second, Joiners: 3}}}
+	for i, ev := range step.Timeline(1, time.Minute) {
+		if ev.At != 59*time.Second || ev.Op != OpJoin {
+			t.Fatalf("zero-spread event %d = %+v", i, ev)
+		}
+	}
+	late := Process{Flash: []FlashCrowd{{At: 2 * time.Minute, Joiners: 5}}}
+	if got := late.Timeline(1, time.Minute); len(got) != 0 {
+		t.Fatalf("beyond-horizon flash produced %d events", len(got))
+	}
+	if !late.HasJoins() || late.IsZero() {
+		t.Fatal("flash crowd not counted as joins/churn")
+	}
+	if (Process{}).HasJoins() || !SustainedPoisson(1, 0).HasJoins() {
+		t.Fatal("HasJoins misclassifies Poisson streams")
+	}
+}
+
+func TestFlashCrowdValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		f    FlashCrowd
+		ok   bool
+	}{
+		{"valid", FlashCrowd{At: time.Second, Joiners: 100, Over: 10 * time.Second}, true},
+		{"zero joiners", FlashCrowd{At: time.Second}, true},
+		{"negative at", FlashCrowd{At: -time.Second, Joiners: 1}, false},
+		{"negative joiners", FlashCrowd{Joiners: -1}, false},
+		{"too many joiners", FlashCrowd{Joiners: MaxFlashJoiners + 1}, false},
+		{"negative spread", FlashCrowd{Joiners: 1, Over: -time.Second}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.f.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+			p := Process{Flash: []FlashCrowd{tt.f}}
+			if err := p.Validate(); (err == nil) != tt.ok {
+				t.Fatalf("Process.Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
 func TestOpString(t *testing.T) {
-	if OpJoin.String() != "join" || OpLeave.String() != "leave" || OpBurst.String() != "burst" {
+	if OpJoin.String() != "join" || OpLeave.String() != "leave" || OpBurst.String() != "burst" ||
+		OpGracefulLeave.String() != "graceful-leave" {
 		t.Fatal("Op.String names wrong")
 	}
 	if Op(9).String() != "Op(9)" {

@@ -94,6 +94,13 @@ type Config struct {
 	MaxProposers int
 	// Retry selects the retransmission target policy.
 	Retry RetryPolicy
+	// Leech, when true, makes the peer a free-rider: it requests and
+	// receives the stream like everyone else but never proposes what it
+	// holds and never serves requests, consuming partners' uplinks while
+	// contributing nothing. An adversarial extreme of the paper's
+	// heterogeneous-capacity study, not part of its protocol. A source
+	// cannot leech.
+	Leech bool
 }
 
 // DefaultConfig returns the paper's streaming configuration with its
@@ -213,6 +220,9 @@ func newPeer(env Env, cfg Config, sampler member.Sampler, layout stream.Layout, 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if src != nil && cfg.Leech {
+		return nil, fmt.Errorf("core: the stream source cannot leech: nobody else holds the content")
+	}
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,15 +297,17 @@ func (p *Peer) tick() {
 
 	if len(p.toPropose) > 0 {
 		ids := p.toPropose
-		p.toPropose = nil // infect and die
-		partners := p.view.Partners()
-		for _, chunk := range wire.SplitIDs(ids) {
-			// Box the message once: Send takes an interface, and
-			// converting per partner would allocate fanout times per round.
-			var msg wire.Message = wire.Propose{IDs: chunk}
-			for _, partner := range partners {
-				p.env.Send(partner, msg)
-				p.counters.ProposesSent++
+		p.toPropose = nil // infect and die (a leech just forgets the ids)
+		if !p.cfg.Leech {
+			partners := p.view.Partners()
+			for _, chunk := range wire.SplitIDs(ids) {
+				// Box the message once: Send takes an interface, and
+				// converting per partner would allocate fanout times per round.
+				var msg wire.Message = wire.Propose{IDs: chunk}
+				for _, partner := range partners {
+					p.env.Send(partner, msg)
+					p.counters.ProposesSent++
+				}
 			}
 		}
 	}
@@ -448,8 +460,13 @@ func (p *Peer) retransmit(proposer wire.NodeID, ids []stream.PacketID) {
 	}
 }
 
-// handleRequest implements phase 3: serve the payloads we hold.
+// handleRequest implements phase 3: serve the payloads we hold. A leech
+// drops the request instead — receivers retransmit toward other
+// proposers, paying for the free-rider with their own uplinks.
 func (p *Peer) handleRequest(from wire.NodeID, m wire.Request) {
+	if p.cfg.Leech {
+		return
+	}
 	pkts := p.serveScratch[:0]
 	for _, id := range m.IDs {
 		if pkt := p.lookup(id); pkt != nil {

@@ -11,6 +11,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -83,6 +84,14 @@ type Config struct {
 	// MembershipCyclon: a static full-view sampler can never learn nodes
 	// that did not exist at setup.
 	ChurnProcess *churn.Process
+	// FreeRiders is the fraction of non-source nodes that free-ride: they
+	// request and receive the stream but never propose or serve
+	// (core.Config.Leech). Riders are spread evenly over the stable node
+	// ordinals — setup node i has ordinal i-1, runtime admissions continue
+	// the count — so any prefix of k ordinals contains exactly
+	// floor(k·FreeRiders) riders and twin replays agree on who rides.
+	// Score the classes separately with Result.ClassMeanCompletePct.
+	FreeRiders float64
 	// Drain is extra simulated time after the stream ends, letting
 	// throttled queues flush (offline viewing needs it).
 	Drain time.Duration
@@ -209,9 +218,15 @@ func (c Config) Validate() error {
 		if c.Shards < 1 {
 			return fmt.Errorf("experiment: ChurnProcess requires the sharded engine (Shards >= 1): the single-threaded kernel cannot admit nodes at runtime")
 		}
-		if p.JoinPerSec > 0 && c.Membership != MembershipCyclon {
+		if p.HasJoins() && c.Membership != MembershipCyclon {
 			return fmt.Errorf("experiment: ChurnProcess with joins requires MembershipCyclon: a static full-view sampler cannot learn nodes admitted at runtime")
 		}
+		if p.GracefulLeaves && c.Membership != MembershipCyclon {
+			return fmt.Errorf("experiment: ChurnProcess with graceful leaves requires MembershipCyclon: LEAVE announcements shed descriptors from partial views, which a static full-view sampler does not keep")
+		}
+	}
+	if math.IsNaN(c.FreeRiders) || c.FreeRiders < 0 || c.FreeRiders > 1 {
+		return fmt.Errorf("experiment: FreeRiders = %v, want in [0, 1]", c.FreeRiders)
 	}
 	// Both engines support both membership substrates (the sharded engine
 	// gained Cyclon partial views with megasim.AttachSampler). A substrate
@@ -271,8 +286,11 @@ type NodeResult struct {
 	JoinedAt time.Duration
 	// LeftAt is when the node crashed or departed; for nodes alive at the
 	// end it is the run's duration.
-	LeftAt  time.Duration
-	Quality metrics.Quality
+	LeftAt time.Duration
+	// FreeRider marks a node assigned to the leeching service class by
+	// Config.FreeRiders: it never proposed or served.
+	FreeRider bool
+	Quality   metrics.Quality
 	// UploadKbps is the node's average upload rate over the whole run
 	// duration — the bandwidth-cost convention of Figure 4. For nodes that
 	// joined or departed mid-run it understates the in-lifetime rate;
@@ -345,6 +363,11 @@ type StreamingResult struct {
 	// shrunk by Config.BootstrapGrace() — Result.LifetimeQualities'
 	// population. Nodes with no eligible window are omitted.
 	Present telemetry.QualitySet
+	// Riders and Cooperators split Present by service class
+	// (Config.FreeRiders): leeching nodes versus everyone else. Riders is
+	// empty when no free-riders were configured.
+	Riders      telemetry.QualitySet
+	Cooperators telemetry.QualitySet
 	// Nodes/Joined/Departed count all non-source nodes ever present, the
 	// runtime-admitted subset, and the departed subset.
 	Nodes    int
@@ -383,9 +406,20 @@ func (r *Result) SurvivorQualities() []metrics.Quality {
 // are omitted. With no churn at all, LifetimeQualities(grace) equals
 // SurvivorQualities.
 func (r *Result) LifetimeQualities(grace time.Duration) []metrics.Quality {
+	return r.lifetimeQualitiesWhere(grace, nil)
+}
+
+// lifetimeQualitiesWhere is LifetimeQualities restricted to the nodes a
+// non-nil keep predicate accepts — the batch-mode backend of the
+// per-service-class scores (Result.ClassMeanCompletePct).
+func (r *Result) lifetimeQualitiesWhere(grace time.Duration, keep func(*NodeResult) bool) []metrics.Quality {
 	l := r.Config.Layout
 	out := make([]metrics.Quality, 0, len(r.Nodes))
-	for _, n := range r.Nodes {
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		if keep != nil && !keep(n) {
+			continue
+		}
 		var lags []time.Duration
 		lastEnd := n.LeftAt
 		if !n.Survived {
@@ -468,7 +502,9 @@ func Run(cfg Config) (*Result, error) {
 		if i == 0 {
 			p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
 		} else {
-			p, err = core.NewPeer(env, cfg.Protocol, sampler, cfg.Layout)
+			proto := cfg.Protocol
+			proto.Leech = freeRider(cfg.FreeRiders, i-1)
+			p, err = core.NewPeer(env, proto, sampler, cfg.Layout)
 		}
 		if err != nil {
 			return nil, err
@@ -528,6 +564,19 @@ func nodeCap(cfg Config, i int) int64 {
 	default:
 		return cfg.UploadCapBps
 	}
+}
+
+// freeRider reports whether the node with the given stable ordinal (setup
+// node i has ordinal i-1; runtime admissions continue the count) leeches
+// under Config.FreeRiders = frac. The rule — ordinal k rides exactly when
+// floor((k+1)·frac) exceeds floor(k·frac) — spreads riders evenly: any
+// prefix of k ordinals contains exactly floor(k·frac) riders, so the
+// class split is deterministic and independent of churn interleaving.
+func freeRider(frac float64, ordinal int) bool {
+	if frac <= 0 {
+		return false
+	}
+	return math.Floor(float64(ordinal+1)*frac) > math.Floor(float64(ordinal)*frac)
 }
 
 // aliveNonSource returns the non-source nodes still alive — the victim
@@ -603,6 +652,7 @@ func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.P
 			Survived:      survived,
 			JoinedAt:      joinedAt,
 			LeftAt:        leftAt,
+			FreeRider:     freeRider(cfg.FreeRiders, i-1),
 			Quality:       metrics.Evaluate(peers[i].Receiver(), cfg.Layout),
 			UploadKbps:    float64(stats.TotalSentBytes()) * 8 / end.Seconds() / 1000,
 			BaseLatencyMS: float64(eng.BaseLatency(id)) / float64(time.Millisecond),
@@ -613,8 +663,8 @@ func collectResult(cfg Config, end time.Duration, eng substrate, peers []*core.P
 	return res
 }
 
-// dispatch routes shuffle traffic to the sampling service and everything
-// else to the streaming engine.
+// dispatch routes membership traffic (shuffles, leave announcements) to
+// the sampling service and everything else to the streaming engine.
 type dispatch struct {
 	peer *core.Peer
 	pss  *pss.Node
@@ -622,7 +672,8 @@ type dispatch struct {
 
 // HandleMessage implements simnet.Handler.
 func (d dispatch) HandleMessage(from wire.NodeID, msg wire.Message) {
-	if _, ok := msg.(wire.Shuffle); ok {
+	switch msg.(type) {
+	case wire.Shuffle, wire.Leave:
 		if d.pss != nil {
 			d.pss.HandleMessage(from, msg)
 		}

@@ -72,6 +72,10 @@ func runSharded(cfg Config) (*Result, error) {
 		peers:  make([]*core.Peer, cfg.Nodes),
 		ids:    make([]wire.NodeID, cfg.Nodes),
 		joined: make([]time.Duration, cfg.Nodes),
+		riders: make([]bool, cfg.Nodes),
+		// Setup node i has service-class ordinal i-1; runtime admissions
+		// continue the count from there.
+		nextOrdinal: cfg.Nodes - 1,
 	}
 	if cfg.StreamingMetrics {
 		d.fold = newStreamFold(cfg, end)
@@ -89,12 +93,14 @@ func runSharded(cfg Config) (*Result, error) {
 		if i == 0 {
 			src0 = src
 		}
-		p, st, err := d.buildNode(id, boot, src0)
+		rider := i > 0 && freeRider(cfg.FreeRiders, i-1)
+		p, st, err := d.buildNode(id, boot, src0, rider)
 		if err != nil {
 			return nil, err
 		}
 		d.peers[i] = p
 		d.ids[i] = id
+		d.riders[i] = rider
 		if d.states != nil {
 			d.states[i] = st
 		}
@@ -131,6 +137,8 @@ func runSharded(cfg Config) (*Result, error) {
 				eng.AtBarrier(tev.At, func() { d.admit(tev.At, procRng) })
 			case churn.OpLeave:
 				eng.AtBarrier(tev.At, func() { d.leave(tev.At, procRng) })
+			case churn.OpGracefulLeave:
+				eng.AtBarrier(tev.At, func() { d.gracefulLeave(tev.At, procRng) })
 			case churn.OpBurst:
 				eng.AtBarrier(tev.At, func() {
 					crashBurst(eng, d.aliveVictims(), d.stopPeer, d.stopSampler, d.noteCrash(tev.At), churn.Event{At: tev.At, Fraction: tev.Fraction}, procRng)
@@ -229,6 +237,10 @@ type deployment struct {
 	states []*pss.State    // nil under MembershipFull
 	ids    []wire.NodeID   // full handle of each slot's live occupant
 	joined []time.Duration // admission barrier time; 0 for setup nodes
+	riders []bool          // service class of each slot's occupant (Config.FreeRiders)
+	// nextOrdinal is the stable service-class ordinal the next runtime
+	// admission consumes (freeRider); slot reuse never rewinds it.
+	nextOrdinal int
 	// departed collects batch-mode NodeResults at crash barriers, in crash
 	// order (the batch fold order streaming scoring mirrors). Nil under
 	// StreamingMetrics, where the fold replaces retained results.
@@ -253,7 +265,7 @@ func (d *deployment) noteCrash(at time.Duration) func(wire.NodeID) {
 		slot := megasim.Slot(id)
 		d.departedCount++
 		if d.fold != nil {
-			d.fold.fold(d.joined[slot], at, false, d.peers[slot], d.eng.NodeStats(id))
+			d.fold.fold(d.joined[slot], at, false, d.riders[slot], d.peers[slot], d.eng.NodeStats(id))
 		} else {
 			d.departed = append(d.departed, d.nodeResult(id, slot, at, false))
 		}
@@ -275,6 +287,7 @@ func (d *deployment) nodeResult(id wire.NodeID, slot int, leftAt time.Duration, 
 		Survived:      survived,
 		JoinedAt:      d.joined[slot],
 		LeftAt:        leftAt,
+		FreeRider:     d.riders[slot],
 		Quality:       metrics.Evaluate(d.peers[slot].Receiver(), d.cfg.Layout),
 		UploadKbps:    float64(stats.TotalSentBytes()) * 8 / d.end.Seconds() / 1000,
 		BaseLatencyMS: float64(d.eng.BaseLatency(id)) / float64(time.Millisecond),
@@ -317,15 +330,17 @@ func (d *deployment) collectStreaming(end time.Duration) *Result {
 		if d.peers[slot] == nil {
 			continue // departed: folded at its crash barrier
 		}
-		f.fold(d.joined[slot], end, true, d.peers[slot], d.eng.NodeStats(d.ids[slot]))
+		f.fold(d.joined[slot], end, true, d.riders[slot], d.peers[slot], d.eng.NodeStats(d.ids[slot]))
 	}
 	s := &StreamingResult{
-		Survivors: f.survivors,
-		Present:   f.present,
-		Nodes:     d.eng.Added() - 1,
-		Joined:    d.joinedCount,
-		Departed:  d.departedCount,
-		Upload:    f.upload,
+		Survivors:   f.survivors,
+		Present:     f.present,
+		Riders:      f.riders,
+		Cooperators: f.cooperators,
+		Nodes:       d.eng.Added() - 1,
+		Joined:      d.joinedCount,
+		Departed:    d.departedCount,
+		Upload:      f.upload,
 	}
 	return &Result{
 		Config:         d.cfg,
@@ -370,8 +385,9 @@ func (d *deployment) aliveVictims() []wire.NodeID {
 // seeded Seed<<20 + id; a non-nil boot selects a Cyclon record (seeded
 // with a distinct salt to decorrelate it from the protocol stream, and
 // attached to the engine), nil boot a static SparseView; a non-nil src
-// makes the node the stream source.
-func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.Source) (*core.Peer, *pss.State, error) {
+// makes the node the stream source; rider puts the node in the leeching
+// service class (Config.FreeRiders).
+func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.Source, rider bool) (*core.Peer, *pss.State, error) {
 	cfg := d.cfg
 	rng := megasim.NewRand(cfg.Seed<<20 + int64(id))
 	env := d.eng.NodeEnv(id, rng)
@@ -392,7 +408,9 @@ func (d *deployment) buildNode(id wire.NodeID, boot []wire.NodeID, src *stream.S
 	if src != nil {
 		p, err = core.NewSourcePeer(env, cfg.Protocol, sampler, src)
 	} else {
-		p, err = core.NewPeer(env, cfg.Protocol, sampler, cfg.Layout)
+		proto := cfg.Protocol
+		proto.Leech = rider
+		p, err = core.NewPeer(env, proto, sampler, cfg.Layout)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -419,7 +437,9 @@ func (d *deployment) admit(at time.Duration, rng *rand.Rand) {
 	}
 	id := d.eng.PeekNextID()
 	boot := d.liveBootstrapIDs(id, d.pssCfg.ShuffleLen, rng)
-	p, st, err := d.buildNode(id, boot, nil)
+	rider := freeRider(d.cfg.FreeRiders, d.nextOrdinal)
+	d.nextOrdinal++
+	p, st, err := d.buildNode(id, boot, nil, rider)
 	if err != nil {
 		d.err = fmt.Errorf("experiment: admitting node %d: %w", id, err)
 		return
@@ -429,11 +449,13 @@ func (d *deployment) admit(at time.Duration, rng *rand.Rand) {
 		d.peers = append(d.peers, nil)
 		d.ids = append(d.ids, 0)
 		d.joined = append(d.joined, 0)
+		d.riders = append(d.riders, false)
 		d.states = append(d.states, nil)
 	}
 	d.peers[slot] = p
 	d.ids[slot] = id
 	d.joined[slot] = at
+	d.riders[slot] = rider
 	d.states[slot] = st
 	d.joinedCount++
 	p.Start()
@@ -448,6 +470,28 @@ func (d *deployment) leave(at time.Duration, rng *rand.Rand) {
 		return
 	}
 	victim := eligible[rng.Intn(len(eligible))]
+	crashNode(d.eng, d.stopPeer, d.stopSampler, d.noteCrash(at), victim)
+}
+
+// gracefulLeave runs inside a graceful-departure barrier: one uniformly
+// random live non-source node announces its exit — its membership record
+// emits a LEAVE to every peer in its view, sent from the departing node
+// through its own shaped uplink — and then crashes. The victim draw is
+// identical to leave's (same pool scan, same single rng.Intn), and the
+// timeline keeps the leave salt, so a graceful run and a crash-leave run
+// at the same seed remove the same nodes at the same instants: comparing
+// the two isolates the cost of detection lag from unavoidable loss.
+func (d *deployment) gracefulLeave(at time.Duration, rng *rand.Rand) {
+	eligible := d.aliveVictims()
+	if len(eligible) == 0 {
+		return
+	}
+	victim := eligible[rng.Intn(len(eligible))]
+	if d.states != nil {
+		for _, em := range d.states[megasim.Slot(victim)].Goodbye() {
+			d.eng.SendFrom(victim, em.To, em.Msg)
+		}
+	}
 	crashNode(d.eng, d.stopPeer, d.stopSampler, d.noteCrash(at), victim)
 }
 

@@ -28,9 +28,11 @@ type streamFold struct {
 	endSeconds float64
 	grace      time.Duration
 
-	survivors telemetry.QualitySet
-	present   telemetry.QualitySet
-	upload    telemetry.Hist
+	survivors   telemetry.QualitySet
+	present     telemetry.QualitySet
+	riders      telemetry.QualitySet
+	cooperators telemetry.QualitySet
+	upload      telemetry.Hist
 }
 
 func newStreamFold(cfg Config, end time.Duration) *streamFold {
@@ -44,7 +46,7 @@ func newStreamFold(cfg Config, end time.Duration) *streamFold {
 // fold closes one node's lifetime. The window loops mirror
 // metrics.Evaluate and Result.LifetimeQualities expression for
 // expression, replacing the retained lag slices with flat accumulators.
-func (f *streamFold) fold(joinedAt, leftAt time.Duration, survived bool, p *core.Peer, stats simnet.Stats) {
+func (f *streamFold) fold(joinedAt, leftAt time.Duration, survived, rider bool, p *core.Peer, stats simnet.Stats) {
 	recv := p.Receiver()
 	if survived {
 		// Full-stream accumulator: only survivors are scored on it
@@ -83,6 +85,13 @@ func (f *streamFold) fold(joinedAt, leftAt time.Duration, survived bool, p *core
 		m.Observe(lag)
 	}
 	f.present.Add(m)
+	// The same lifetime-masked accumulator, split by service class.
+	// Riders stays empty when no free-riders were configured.
+	if rider {
+		f.riders.Add(m)
+	} else {
+		f.cooperators.Add(m)
+	}
 	// NodeResult.UploadKbps' expression; sent bytes are frozen from the
 	// crash on, so folding early loses nothing.
 	f.upload.Observe(int64(math.Round(float64(stats.TotalSentBytes()) * 8 / f.endSeconds / 1000)))
@@ -224,6 +233,41 @@ func (r *Result) PresentCount() int {
 		return s.Present.Len()
 	}
 	return len(r.LifetimeQualities(r.Config.BootstrapGrace()))
+}
+
+// classSet returns the streaming accumulator of one service class.
+func (s *StreamingResult) classSet(rider bool) *telemetry.QualitySet {
+	if rider {
+		return &s.Riders
+	}
+	return &s.Cooperators
+}
+
+// classKeep returns the batch-mode predicate of one service class.
+func classKeep(rider bool) func(*NodeResult) bool {
+	return func(n *NodeResult) bool { return n.FreeRider == rider }
+}
+
+// ClassMeanCompletePct returns the mean complete-window percentage at lag
+// of one service class (free-riders or cooperators), scored over the
+// lifetime-masked window set under the standard bootstrap grace — the
+// service-asymmetry report: how much quality the riders extract, and what
+// their presence costs the nodes actually serving. Zero when the class is
+// empty.
+func (r *Result) ClassMeanCompletePct(rider bool, lag time.Duration) float64 {
+	if s := r.Streaming; s != nil {
+		return s.classSet(rider).MeanCompleteFraction(lag)
+	}
+	return metrics.MeanCompleteFraction(r.lifetimeQualitiesWhere(r.Config.BootstrapGrace(), classKeep(rider)), lag)
+}
+
+// ClassCount returns the number of scored nodes of one service class
+// (nodes with at least one eligible window).
+func (r *Result) ClassCount(rider bool) int {
+	if s := r.Streaming; s != nil {
+		return s.classSet(rider).Len()
+	}
+	return len(r.lifetimeQualitiesWhere(r.Config.BootstrapGrace(), classKeep(rider)))
 }
 
 // UploadSummary digests the per-node mean upload rates (kbps): exact in

@@ -1026,7 +1026,9 @@ func (e *Engine) send(sh *shard, from, to NodeID, msg wire.Message) {
 // new occupant never sees it. A stale *source* with a live destination
 // dead-drops normally — the sender was live when it sent, so the message
 // was counted sent, and its slot's recycling mid-flight changes nothing
-// about the destination-side accounting.
+// about the destination-side accounting. One exemption: a LEAVE from a
+// dead-but-not-recycled source delivers — delivering the farewell after
+// the sender is gone is the entire point of a graceful departure.
 func (e *Engine) deliver(sh *shard, ev *event) {
 	src, dst := &e.nodes[uint32(ev.from)&slotMask], &e.nodes[uint32(ev.to)&slotMask]
 	if int(dst.gen) != int(uint32(ev.to)>>slotBits) {
@@ -1034,15 +1036,24 @@ func (e *Engine) deliver(sh *shard, ev *event) {
 		recycleMsg(ev.msg)
 		return
 	}
-	if int(src.gen) != int(uint32(ev.from)>>slotBits) || !src.alive || !dst.alive {
+	k := ev.msg.Kind()
+	if int(src.gen) != int(uint32(ev.from)>>slotBits) || !dst.alive ||
+		(!src.alive && k != wire.KindLeave) {
+		// A LEAVE from a dead (but not recycled) source still delivers: a
+		// graceful departure hands its farewells to the network and crashes
+		// in the same barrier, and a datagram in flight is not recalled
+		// when its sender dies. Every other kind dead-drops as before.
 		dst.stats.DeadDrops++
 		recycleMsg(ev.msg)
 		return
 	}
-	k := ev.msg.Kind()
 	dst.stats.RecvMsgs[k]++
 	dst.stats.RecvBytes[k] += uint64(ev.size)
-	if k == wire.KindShuffle {
+	if k == wire.KindShuffle || k == wire.KindLeave {
+		// Membership traffic — view exchanges and graceful-departure
+		// announcements — goes to the node's sampler (which may answer; a
+		// LEAVE never does), staying on the same flat event path as
+		// everything else.
 		if dst.sampler != nil {
 			if reply, ok := dst.sampler.Handle(ev.from, ev.msg); ok {
 				e.send(sh, ev.to, reply.To, reply.Msg)
@@ -1054,6 +1065,21 @@ func (e *Engine) deliver(sh *shard, ev *event) {
 	// The engine is the message's last consumer: handlers retain packet
 	// pointers, never message slices, so pooled backings go back here.
 	recycleMsg(ev.msg)
+}
+
+// SendFrom transmits msg from one node to another with the normal UDP
+// semantics, from outside the sender's own event context. Legal during
+// setup and inside an AtBarrier callback, where every shard is quiescent:
+// churn executors use it to transmit a gracefully departing node's LEAVE
+// emissions before crashing it. The send runs on the sender's shard — the
+// uplink shaping, loss draw, and jitter come from the same streams as the
+// node's own sends, and cross-shard deliveries fold through the regular
+// barrier outboxes — so runs stay bit-identical for a fixed (seed,
+// shards) pair.
+func (e *Engine) SendFrom(from, to NodeID, msg wire.Message) {
+	e.checkMutable("SendFrom")
+	sh := e.shards[Slot(from)%len(e.shards)]
+	e.send(sh, from, to, msg)
 }
 
 // recycleMsg returns a message's pooled resources once no consumer will

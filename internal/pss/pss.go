@@ -93,6 +93,12 @@ func (c Config) Validate() error {
 // maxAge saturates descriptor ages (wire.ShuffleEntry.Age is uint16).
 const maxAge = 1<<16 - 1
 
+// tombCap sizes the LEAVE tombstone set in view sizes. Four views' worth
+// comfortably outlives the circulating stale copies of any descriptor
+// (each view holds at most one) while keeping per-node memory O(ViewSize)
+// under unbounded churn.
+const tombCap = 4
+
 // State is one node's Cyclon record in compact, engine-driven form; see
 // the package comment for the contract. Not safe for concurrent use; the
 // driving engine serializes calls, as with the streaming protocol state.
@@ -110,6 +116,14 @@ type State struct {
 	// overwritten next period, and an unsolicited reply finds it empty
 	// and merges into free slots only. Capacity is reused across rounds.
 	pending []wire.NodeID
+	// tombs holds ids whose LEAVE this node has seen: merge and insert
+	// refuse to re-admit them, so stale copies still circulating in other
+	// views cannot resurrect a departed descriptor here. The set is a
+	// bounded FIFO (tombCap × ViewSize): a tombstone only needs to outlive
+	// the stale copies of its descriptor, which age out of the overlay,
+	// and under generation-tagged ids a reborn node carries a fresh id the
+	// tombstone never matches.
+	tombs   []wire.NodeID
 	stopped bool
 
 	shufflesSent     int
@@ -217,34 +231,93 @@ func (s *State) Tick() (member.Emit, bool) {
 	return member.Emit{To: target, Msg: wire.Shuffle{Entries: sample}}, true
 }
 
-// Handle implements member.DynamicSampler: it merges shuffle traffic and
-// answers requests with a sample of the pre-merge view. Non-shuffle
-// messages are ignored, so the record can sit behind any dispatcher.
+// Handle implements member.DynamicSampler: it merges shuffle traffic,
+// answers requests with a sample of the pre-merge view, and sheds the
+// sender's descriptor on a LEAVE. Other messages are ignored, so the
+// record can sit behind any dispatcher.
 //
-// Both directions merge with Cyclon's swap semantics. Answering a
+// Both shuffle directions merge with Cyclon's swap semantics. Answering a
 // request, the replaceable slots are the descriptors just sampled into
 // the reply — local to this call, so a node that answers requests
 // between its own Tick and the matching reply cannot corrupt its
 // initiator-side pending set. Receiving a reply, they are the pending
 // ids recorded by the Tick that sent the request, consumed exactly once.
+//
+// A LEAVE removes the sender from the view immediately — no waiting for
+// the descriptor to age out — and tombstones the id so stale copies
+// arriving in later shuffles cannot resurrect it.
 func (s *State) Handle(from wire.NodeID, msg wire.Message) (member.Emit, bool) {
-	sh, ok := msg.(wire.Shuffle)
-	if !ok || s.stopped {
+	if s.stopped {
 		return member.Emit{}, false
 	}
-	if sh.Reply {
-		s.merge(sh.Entries, s.pending)
-		s.pending = s.pending[:0]
+	switch m := msg.(type) {
+	case wire.Shuffle:
+		if m.Reply {
+			s.merge(m.Entries, s.pending)
+			s.pending = s.pending[:0]
+			return member.Emit{}, false
+		}
+		sample := s.sampleEntries(s.shuffleLen)
+		sent := make([]wire.NodeID, len(sample))
+		for i, e := range sample {
+			sent[i] = e.ID
+		}
+		s.shufflesAnswered++
+		s.merge(m.Entries, sent)
+		return member.Emit{To: from, Msg: wire.Shuffle{Reply: true, Entries: sample}}, true
+	case wire.Leave:
+		s.noteLeave(from)
+		return member.Emit{}, false
+	default:
 		return member.Emit{}, false
 	}
-	sample := s.sampleEntries(s.shuffleLen)
-	sent := make([]wire.NodeID, len(sample))
-	for i, e := range sample {
-		sent[i] = e.ID
+}
+
+// Goodbye announces a graceful departure: one LEAVE per current view
+// entry — the partners most likely to hold this node's descriptor — and
+// then the record stops, exactly as on a crash. The engine transmits the
+// emissions before tearing the node down.
+func (s *State) Goodbye() []member.Emit {
+	if s.stopped || len(s.view) == 0 {
+		s.stopped = true
+		return nil
 	}
-	s.shufflesAnswered++
-	s.merge(sh.Entries, sent)
-	return member.Emit{To: from, Msg: wire.Shuffle{Reply: true, Entries: sample}}, true
+	out := make([]member.Emit, 0, len(s.view))
+	for _, e := range s.view {
+		out = append(out, member.Emit{To: e.ID, Msg: wire.Leave{}})
+	}
+	s.stopped = true
+	return out
+}
+
+// noteLeave sheds a departed node: its descriptor leaves the view now and
+// its id joins the tombstone FIFO so merge and insert refuse stale copies.
+func (s *State) noteLeave(id wire.NodeID) {
+	for i := range s.view {
+		if s.view[i].ID == id {
+			s.view[i] = s.view[len(s.view)-1]
+			s.view = s.view[:len(s.view)-1]
+			break
+		}
+	}
+	if s.tombstoned(id) {
+		return
+	}
+	if len(s.tombs) >= tombCap*s.viewSize {
+		copy(s.tombs, s.tombs[1:])
+		s.tombs = s.tombs[:len(s.tombs)-1]
+	}
+	s.tombs = append(s.tombs, id)
+}
+
+// tombstoned reports whether id has announced a graceful departure.
+func (s *State) tombstoned(id wire.NodeID) bool {
+	for _, t := range s.tombs {
+		if t == id {
+			return true
+		}
+	}
+	return false
 }
 
 var _ member.DynamicSampler = (*State)(nil)
@@ -279,7 +352,7 @@ func (s *State) merge(entries []wire.ShuffleEntry, sent []wire.NodeID) {
 	si := 0
 next:
 	for _, e := range entries {
-		if e.ID == s.self {
+		if e.ID == s.self || s.tombstoned(e.ID) {
 			continue
 		}
 		for i := range s.view {
@@ -310,8 +383,12 @@ next:
 
 // insert seeds one bootstrap descriptor: duplicates keep the younger
 // age; overflow evicts the oldest entry if the newcomer is younger.
-// Shuffle traffic merges through merge's swap rule instead.
+// Shuffle traffic merges through merge's swap rule instead. Tombstoned
+// ids are refused, like everywhere else.
 func (s *State) insert(e wire.ShuffleEntry) {
+	if s.tombstoned(e.ID) {
+		return
+	}
 	for i := range s.view {
 		if s.view[i].ID == e.ID {
 			if e.Age < s.view[i].Age {

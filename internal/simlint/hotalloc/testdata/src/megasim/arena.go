@@ -22,8 +22,22 @@ type Engine struct {
 	quarHead  int
 	free      []int32
 	freeHead  int
+	outbox    []quarEntry
 	now       int64
 	lookahead int64
+}
+
+// SendFrom is a hot root: the LEAVE fan-out path, called once per view
+// entry at a graceful-departure barrier. The handle decode it shares with
+// Release stays flat bit arithmetic; the outbox append is audited.
+func (e *Engine) SendFrom(from, to uint32) {
+	if e.stale(from) {
+		return
+	}
+	e.outbox = append(e.outbox, quarEntry{slot: int32(to & arenaSlotMask), at: e.now}) // want `append in hot path \(\(\*Engine\)\.SendFrom\)`
+
+	//lint:pooled outbox backings are reused across windows (reset to length zero at merge)
+	e.outbox = append(e.outbox, quarEntry{slot: int32(to & arenaSlotMask), at: e.now}) // annotated: fine
 }
 
 // Release is a hot root: it parks the slot in the quarantine ring.

@@ -97,6 +97,11 @@ func Default() *Config {
 				// reachable from runWindow; these roots pin the free-list
 				// side to reused capacity and flat slot arithmetic.
 				"(*Engine).Release", "(*Engine).drainQuarantine", "(*Engine).takeFree",
+				// The LEAVE fan-out path: a graceful departure emits one
+				// SendFrom per view entry at its barrier (view-size × 10k/s
+				// at 1%/s graceful churn on a million nodes), entering the
+				// same send machinery runWindow reaches per event.
+				"(*Engine).SendFrom",
 			},
 			// The SERVE batch split runs once per request served — millions
 			// of times per simulated minute at scale.

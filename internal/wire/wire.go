@@ -35,11 +35,16 @@ const (
 	// partial-view membership substrate (internal/pss); it is not part of
 	// the paper's protocol, which assumes full membership.
 	KindShuffle
+	// KindLeave announces a graceful departure: receivers shed the
+	// sender's descriptor from their partial views immediately instead of
+	// waiting for it to age out. Like KindShuffle it belongs to the
+	// membership substrate, not the paper's protocol.
+	KindLeave
 )
 
 // KindCount is one past the largest Kind, for counter arrays indexed by
 // kind.
-const KindCount = int(KindShuffle) + 1
+const KindCount = int(KindLeave) + 1
 
 // String returns the paper's name for the message kind.
 func (k Kind) String() string {
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "FEED-ME"
 	case KindShuffle:
 		return "SHUFFLE"
+	case KindLeave:
+		return "LEAVE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -165,6 +172,17 @@ func (s Shuffle) WireSize() int {
 	return UDPOverheadBytes + headerBytes + 1 + shuffleEntryBytes*len(s.Entries)
 }
 
+// Leave announces the sender's graceful departure to a view partner. The
+// sender id in the header is the departing node; the message body is
+// empty.
+type Leave struct{}
+
+// Kind implements Message.
+func (Leave) Kind() Kind { return KindLeave }
+
+// WireSize implements Message.
+func (Leave) WireSize() int { return UDPOverheadBytes + headerBytes }
+
 // Verify interface compliance at compile time.
 var (
 	_ Message = Propose{}
@@ -172,6 +190,7 @@ var (
 	_ Message = Serve{}
 	_ Message = FeedMe{}
 	_ Message = Shuffle{}
+	_ Message = Leave{}
 )
 
 // ErrTruncated is returned when a datagram is shorter than its declared
@@ -203,6 +222,10 @@ func (c *Codec) Encode(sender uint32, msg Message) ([]byte, error) {
 	case FeedMe:
 		buf := make([]byte, headerBytes)
 		putHeader(buf, KindFeedMe, sender, 0)
+		return buf, nil
+	case Leave:
+		buf := make([]byte, headerBytes)
+		putHeader(buf, KindLeave, sender, 0)
 		return buf, nil
 	case Shuffle:
 		return encodeShuffle(sender, m)
@@ -293,6 +316,8 @@ func (c *Codec) Decode(data []byte) (sender uint32, msg Message, err error) {
 		return sender, Serve{Packets: packets}, nil
 	case KindFeedMe:
 		return sender, FeedMe{}, nil
+	case KindLeave:
+		return sender, Leave{}, nil
 	case KindShuffle:
 		if len(body) < 1+count*shuffleEntryBytes {
 			return 0, nil, ErrTruncated
